@@ -1,0 +1,291 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gecos {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("ragged matrix literal");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+Matrix Matrix::random_unitary(std::size_t n, std::mt19937& rng) {
+  std::normal_distribution<double> g;
+  Matrix a(n, n);
+  for (auto& x : a.data_) x = cplx(g(rng), g(rng));
+  // Gram-Schmidt on rows.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      cplx proj = 0;
+      for (std::size_t k = 0; k < n; ++k) proj += std::conj(a(j, k)) * a(i, k);
+      for (std::size_t k = 0; k < n; ++k) a(i, k) -= proj * a(j, k);
+    }
+    double nr = 0;
+    for (std::size_t k = 0; k < n; ++k) nr += std::norm(a(i, k));
+    nr = std::sqrt(nr);
+    for (std::size_t k = 0; k < n; ++k) a(i, k) /= nr;
+  }
+  return a;
+}
+
+Matrix Matrix::random_hermitian(std::size_t n, std::mt19937& rng) {
+  std::normal_distribution<double> g;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = g(rng);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      cplx v(g(rng), g(rng));
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  return a;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix r = *this;
+  r += o;
+  return r;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix r = *this;
+  r -= o;
+  return r;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(cplx s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(cplx s) const {
+  Matrix r = *this;
+  r *= s;
+  return r;
+}
+
+Matrix operator*(cplx s, const Matrix& m) { return m * s; }
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  assert(cols_ == o.rows_);
+  Matrix r(rows_, o.cols_);
+  // ikj loop order keeps the inner loop contiguous in both r and o.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx aik = (*this)(i, k);
+      if (aik == cplx(0.0)) continue;
+      const cplx* orow = o.data_.data() + k * o.cols_;
+      cplx* rrow = r.data_.data() + i * r.cols_;
+      for (std::size_t j = 0; j < o.cols_; ++j) rrow[j] += aik * orow[j];
+    }
+  }
+  return r;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = std::conj((*this)(i, j));
+  return r;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
+  return r;
+}
+
+Matrix Matrix::conj() const {
+  Matrix r = *this;
+  for (auto& x : r.data_) x = std::conj(x);
+  return r;
+}
+
+Matrix Matrix::kron(const Matrix& o) const {
+  Matrix r(rows_ * o.rows_, cols_ * o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx a = (*this)(i, j);
+      if (a == cplx(0.0)) continue;
+      for (std::size_t k = 0; k < o.rows_; ++k)
+        for (std::size_t l = 0; l < o.cols_; ++l)
+          r(i * o.rows_ + k, j * o.cols_ + l) = a * o(k, l);
+    }
+  return r;
+}
+
+std::vector<cplx> Matrix::apply(std::span<const cplx> v) const {
+  assert(v.size() == cols_);
+  std::vector<cplx> r(rows_, cplx(0.0));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    cplx acc = 0;
+    const cplx* row = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    r[i] = acc;
+  }
+  return r;
+}
+
+double Matrix::norm_fro() const {
+  double s = 0;
+  for (const auto& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+double Matrix::norm_max() const {
+  double s = 0;
+  for (const auto& x : data_) s = std::max(s, std::abs(x));
+  return s;
+}
+
+double Matrix::norm2_est(int iters) const {
+  if (empty()) return 0.0;
+  std::mt19937 rng(12345);
+  std::vector<cplx> v = random_state(cols_, rng);
+  double lam = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    // w = A v ; v = A† w ; lambda ~ ||A v||.
+    std::vector<cplx> w = apply(v);
+    lam = vec_norm(w);
+    if (lam == 0.0) return 0.0;
+    std::vector<cplx> u(cols_, cplx(0.0));
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const cplx* row = data_.data() + i * cols_;
+      for (std::size_t j = 0; j < cols_; ++j) u[j] += std::conj(row[j]) * w[i];
+    }
+    const double nu = vec_norm(u);
+    if (nu == 0.0) break;
+    for (auto& x : u) x /= nu;
+    v = std::move(u);
+  }
+  return lam;
+}
+
+double Matrix::max_abs_diff(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  double s = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    s = std::max(s, std::abs(data_[i] - o.data_[i]));
+  return s;
+}
+
+bool Matrix::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i; j < cols_; ++j)
+      if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) > tol) return false;
+  return true;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const Matrix p = (*this) * dagger();
+  return p.max_abs_diff(Matrix::identity(rows_)) <= tol;
+}
+
+cplx Matrix::trace() const {
+  cplx t = 0;
+  for (std::size_t i = 0; i < std::min(rows_, cols_); ++i) t += (*this)(i, i);
+  return t;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix r(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nc; ++j) r(i, j) = (*this)(r0 + i, c0 + j);
+  return r;
+}
+
+Matrix kron_all(std::span<const Matrix> ops) {
+  if (ops.empty()) return Matrix::identity(1);
+  Matrix r = ops[0];
+  for (std::size_t i = 1; i < ops.size(); ++i) r = r.kron(ops[i]);
+  return r;
+}
+
+double vec_norm(std::span<const cplx> v) {
+  double s = 0;
+  for (const auto& x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b) {
+  assert(a.size() == b.size());
+  cplx s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b) {
+  assert(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s = std::max(s, std::abs(a[i] - b[i]));
+  return s;
+}
+
+void vec_scale(std::span<cplx> v, cplx s) {
+  for (auto& x : v) x *= s;
+}
+
+void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += s * x[i];
+}
+
+std::vector<cplx> random_state(std::size_t dim, std::mt19937& rng) {
+  std::normal_distribution<double> g;
+  std::vector<cplx> v(dim);
+  for (auto& x : v) x = cplx(g(rng), g(rng));
+  const double n = vec_norm(v);
+  for (auto& x : v) x /= n;
+  return v;
+}
+
+double vec_diff_up_to_phase(std::span<const cplx> a, std::span<const cplx> b) {
+  // Optimal global phase aligns <a|b> to the positive real axis.
+  const cplx d = vec_dot(a, b);
+  const cplx phase = std::abs(d) > 1e-300 ? d / std::abs(d) : cplx(1.0);
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s = std::max(s, std::abs(a[i] * phase - b[i]));
+  return s;
+}
+
+}  // namespace gecos

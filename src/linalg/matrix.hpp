@@ -1,0 +1,109 @@
+// Dense complex matrices and vectors.
+//
+// Small, dependency-free linear algebra used as the *ground truth* layer of
+// GECOS: every circuit the library emits is verified against dense matrix
+// exponentials and matrix-vector products built here. Matrices are row-major
+// with value-semantics (Rule of Zero); sizes stay small (<= 2^12) because the
+// verification layer only ever touches few-qubit unitaries.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace gecos {
+
+using cplx = std::complex<double>;
+
+/// Dense row-major complex matrix with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+  /// Construct from a nested initializer list; rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zero(std::size_t rows, std::size_t cols);
+  /// Haar-ish random unitary via Gram-Schmidt on a random Gaussian matrix.
+  static Matrix random_unitary(std::size_t n, std::mt19937& rng);
+  /// Random Hermitian with entries of magnitude O(1).
+  static Matrix random_hermitian(std::size_t n, std::mt19937& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  std::span<cplx> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const cplx> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const cplx> flat() const { return data_; }
+  std::span<cplx> flat() { return data_; }
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(cplx s) const;
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(cplx s);
+
+  /// Conjugate transpose.
+  Matrix dagger() const;
+  Matrix transpose() const;
+  Matrix conj() const;
+
+  /// Kronecker product: (*this) (x) o.
+  Matrix kron(const Matrix& o) const;
+
+  std::vector<cplx> apply(std::span<const cplx> v) const;
+
+  /// Frobenius norm.
+  double norm_fro() const;
+  /// Max absolute entry.
+  double norm_max() const;
+  /// Spectral norm upper bound estimate via a few power iterations on A†A.
+  double norm2_est(int iters = 30) const;
+
+  double max_abs_diff(const Matrix& o) const;
+  bool is_hermitian(double tol = 1e-12) const;
+  bool is_unitary(double tol = 1e-10) const;
+  cplx trace() const;
+
+  /// Extracts the top-left block of the given shape.
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+Matrix operator*(cplx s, const Matrix& m);
+
+/// Kronecker product of a list, left-to-right: ops[0] (x) ops[1] (x) ...
+Matrix kron_all(std::span<const Matrix> ops);
+
+// -- vector helpers (statevectors are plain std::vector<cplx>) --------------
+
+double vec_norm(std::span<const cplx> v);
+cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b);  // <a|b>
+double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b);
+void vec_scale(std::span<cplx> v, cplx s);
+/// y += s * x
+void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x);
+std::vector<cplx> random_state(std::size_t dim, std::mt19937& rng);
+/// Max |a_i - e^{i phi} b_i| minimized over a global phase phi.
+double vec_diff_up_to_phase(std::span<const cplx> a, std::span<const cplx> b);
+
+}  // namespace gecos

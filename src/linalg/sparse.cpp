@@ -1,0 +1,128 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace gecos {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols) {
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  rowptr_.assign(rows_ + 1, 0);
+  for (std::size_t i = 0; i < entries.size();) {
+    std::size_t j = i;
+    cplx sum = 0;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    if (sum != cplx(0.0)) {
+      assert(entries[i].row < rows_ && entries[i].col < cols_);
+      cols_idx_.push_back(entries[i].col);
+      vals_.push_back(sum);
+      ++rowptr_[entries[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) rowptr_[r + 1] += rowptr_[r];
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& m, double tol) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (std::abs(m(i, j)) > tol) t.push_back({i, j, m(i, j)});
+  return CsrMatrix(m.rows(), m.cols(), std::move(t));
+}
+
+std::vector<cplx> CsrMatrix::apply(std::span<const cplx> v) const {
+  std::vector<cplx> y(rows_, cplx(0.0));
+  apply_add(v, y, 1.0);
+  return y;
+}
+
+void CsrMatrix::apply_add(std::span<const cplx> x, std::span<cplx> y,
+                          cplx s) const {
+  assert(x.size() == cols_ && y.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx acc = 0;
+    for (std::size_t k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+      acc += vals_[k] * x[cols_idx_[k]];
+    y[r] += s * acc;
+  }
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+      m(r, cols_idx_[k]) += vals_[k];
+  return m;
+}
+
+CsrMatrix CsrMatrix::dagger() const {
+  std::vector<Triplet> t;
+  t.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+      t.push_back({cols_idx_[k], r, std::conj(vals_[k])});
+  return CsrMatrix(cols_, rows_, std::move(t));
+}
+
+bool CsrMatrix::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  // Compare against the adjoint entry-by-entry via a map (nnz is small).
+  std::map<std::pair<std::size_t, std::size_t>, cplx> entries;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+      entries[{r, cols_idx_[k]}] = vals_[k];
+  for (const auto& [rc, v] : entries) {
+    auto it = entries.find({rc.second, rc.first});
+    const cplx other = it == entries.end() ? cplx(0.0) : it->second;
+    if (std::abs(v - std::conj(other)) > tol) return false;
+  }
+  return true;
+}
+
+double CsrMatrix::norm_max() const {
+  double s = 0;
+  for (const auto& v : vals_) s = std::max(s, std::abs(v));
+  return s;
+}
+
+int conjugate_gradient(const CsrMatrix& a, std::span<const cplx> b,
+                       std::span<cplx> x, double tol, int max_iters) {
+  assert(a.rows() == a.cols() && b.size() == a.rows() && x.size() == a.rows());
+  const std::size_t n = b.size();
+  std::vector<cplx> r(b.begin(), b.end());
+  std::vector<cplx> ax = a.apply(x);
+  for (std::size_t i = 0; i < n; ++i) r[i] -= ax[i];
+  std::vector<cplx> p = r;
+  double rs = std::norm(vec_dot(r, r).real()) >= 0 ? vec_dot(r, r).real() : 0;
+  rs = vec_dot(r, r).real();
+  const double b_norm = std::max(vec_norm(b), 1e-300);
+  for (int it = 0; it < max_iters; ++it) {
+    if (std::sqrt(rs) / b_norm < tol) return it;
+    std::vector<cplx> ap = a.apply(p);
+    const double denom = vec_dot(p, ap).real();
+    if (denom <= 0) return -1;  // not positive definite along p
+    const double alpha = rs / denom;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rs_new = vec_dot(r, r).real();
+    const double beta = rs_new / rs;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs = rs_new;
+  }
+  return std::sqrt(rs) / b_norm < tol ? max_iters : -1;
+}
+
+}  // namespace gecos

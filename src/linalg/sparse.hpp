@@ -1,0 +1,63 @@
+// Compressed-sparse-row complex matrices.
+//
+// Used for the finite-difference substrate (Section V-C): operator assembly,
+// matrix-free verification of the SCB decompositions and the classical
+// conjugate-gradient reference solver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gecos {
+
+/// One explicit entry of a sparse matrix in coordinate form.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  cplx value;
+};
+
+/// Immutable CSR matrix built from triplets (duplicates are summed).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
+
+  static CsrMatrix from_dense(const Matrix& m, double tol = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return vals_.size(); }
+
+  std::vector<cplx> apply(std::span<const cplx> v) const;
+  /// y += s * (A x)
+  void apply_add(std::span<const cplx> x, std::span<cplx> y, cplx s) const;
+
+  Matrix to_dense() const;
+  CsrMatrix dagger() const;
+  bool is_hermitian(double tol = 1e-12) const;
+  double norm_max() const;
+
+  /// Row slices for iteration.
+  std::span<const std::size_t> row_ptr() const { return rowptr_; }
+  std::span<const std::size_t> col_idx() const { return cols_idx_; }
+  std::span<const cplx> values() const { return vals_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> rowptr_;
+  std::vector<std::size_t> cols_idx_;
+  std::vector<cplx> vals_;
+};
+
+/// Solves A x = b for Hermitian positive-definite A by conjugate gradients.
+/// Returns the iteration count, or -1 if tolerance was not reached.
+int conjugate_gradient(const CsrMatrix& a, std::span<const cplx> b,
+                       std::span<cplx> x, double tol = 1e-10,
+                       int max_iters = 10000);
+
+}  // namespace gecos

@@ -1,0 +1,114 @@
+#include "ops/conversion.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace gecos {
+
+namespace {
+
+/// Single-qubit Pauli expansion op = sum_i coeff_i * P_i.
+std::vector<std::pair<cplx, Scb>> scb_to_pauli1(Scb op) {
+  const cplx i(0.0, 1.0);
+  switch (op) {
+    case Scb::I: return {{1.0, Scb::I}};
+    case Scb::X: return {{1.0, Scb::X}};
+    case Scb::Y: return {{1.0, Scb::Y}};
+    case Scb::Z: return {{1.0, Scb::Z}};
+    case Scb::N: return {{0.5, Scb::I}, {-0.5, Scb::Z}};   // (I - Z)/2
+    case Scb::M: return {{0.5, Scb::I}, {0.5, Scb::Z}};    // (I + Z)/2
+    case Scb::Sm: return {{0.5, Scb::X}, {0.5 * i, Scb::Y}};   // (X + iY)/2
+    case Scb::Sp: return {{0.5, Scb::X}, {-0.5 * i, Scb::Y}};  // (X - iY)/2
+  }
+  throw std::logic_error("scb_to_pauli1");
+}
+
+void expand_bare(const ScbTerm& term, cplx scale, PauliSum& out) {
+  // Distribute the per-qubit expansions; recursion depth = num_qubits.
+  const std::size_t n = term.num_qubits();
+  std::vector<Scb> word(n, Scb::I);
+  auto rec = [&](auto&& self, std::size_t q, cplx acc) -> void {
+    if (q == n) {
+      out.add(PauliString(word), acc);
+      return;
+    }
+    for (const auto& [c, p] : scb_to_pauli1(term.op(q))) {
+      word[q] = p;
+      self(self, q + 1, acc * c);
+    }
+    word[q] = Scb::I;
+  };
+  rec(rec, 0, scale * term.coeff());
+}
+
+}  // namespace
+
+PauliSum term_to_pauli(const ScbTerm& term) {
+  PauliSum sum;
+  expand_bare(term, 1.0, sum);
+  if (term.add_hc()) expand_bare(term.adjoint(), 1.0, sum);
+  sum.prune();
+  return sum;
+}
+
+PauliSum terms_to_pauli(const std::vector<ScbTerm>& terms) {
+  PauliSum sum;
+  for (const ScbTerm& t : terms) sum.add(term_to_pauli(t));
+  sum.prune();
+  return sum;
+}
+
+std::size_t pauli_expansion_count(const ScbTerm& term) {
+  std::size_t k = 0;
+  for (Scb op : term.ops())
+    if (scb_is_projector(op) || scb_is_transition(op)) ++k;
+  return std::size_t{1} << k;
+}
+
+std::vector<ScbTerm> gather_hermitian(const std::vector<ScbTerm>& bare,
+                                      double tol) {
+  // Accumulate coefficients per operator word, then pair words with their
+  // adjoints.
+  std::map<std::vector<Scb>, cplx> acc;
+  for (const ScbTerm& t : bare) {
+    if (t.add_hc())
+      throw std::invalid_argument("gather_hermitian expects bare products");
+    acc[t.ops()] += t.coeff();
+  }
+  std::vector<ScbTerm> out;
+  while (!acc.empty()) {
+    auto it = acc.begin();
+    const std::vector<Scb> word = it->first;
+    const cplx coeff = it->second;
+    acc.erase(it);
+    if (std::abs(coeff) <= tol) continue;
+
+    std::vector<Scb> adj(word.size());
+    for (std::size_t q = 0; q < word.size(); ++q) adj[q] = scb_adjoint(word[q]);
+
+    if (adj == word) {
+      // Hermitian product: Hermiticity of the sum requires a real coefficient.
+      if (std::abs(coeff.imag()) > tol)
+        throw std::invalid_argument(
+            "gather_hermitian: Hermitian product with complex coefficient");
+      out.emplace_back(coeff.real(), word, false);
+      continue;
+    }
+    auto jt = acc.find(adj);
+    const cplx adj_coeff = jt == acc.end() ? cplx(0.0) : jt->second;
+    if (jt != acc.end()) acc.erase(jt);
+    if (std::abs(adj_coeff - std::conj(coeff)) > tol)
+      throw std::invalid_argument(
+          "gather_hermitian: sum is not Hermitian (unpaired " +
+          ScbTerm(coeff, word, false).str() + ")");
+    out.emplace_back(coeff, word, true);
+  }
+  return out;
+}
+
+ScbTerm pauli_string_as_term(const PauliString& s, double coeff) {
+  return ScbTerm(coeff, s.ops(), false);
+}
+
+}  // namespace gecos

@@ -1,0 +1,35 @@
+// Conversions between the Single Component Basis and Pauli strings.
+//
+// term_to_pauli is the "mapping" arrow of Fig. 1 (usual strategy): each
+// {n, m, sigma, sigma^dagger} factor doubles the number of Pauli strings,
+// which is exactly the exponential blow-up the direct strategy avoids.
+#pragma once
+
+#include <vector>
+
+#include "ops/pauli.hpp"
+#include "ops/term.hpp"
+
+namespace gecos {
+
+/// Pauli expansion of a single ScbTerm (including its h.c. part if set).
+PauliSum term_to_pauli(const ScbTerm& term);
+
+/// Pauli expansion of a sum of terms, with cancellation across terms.
+PauliSum terms_to_pauli(const std::vector<ScbTerm>& terms);
+
+/// Number of Pauli strings the bare product of `term` expands to (before any
+/// cross-term cancellation): 2^k with k = #(n,m,sigma,sigma^dagger factors).
+std::size_t pauli_expansion_count(const ScbTerm& term);
+
+/// Gathers a list of *bare* products (add_hc == false) into Hermitian terms:
+/// Hermitian products keep a real coefficient; conjugate pairs A, A† merge
+/// into one "+ h.c." term (eq. (5) of the paper). Throws if the input sum is
+/// not Hermitian.
+std::vector<ScbTerm> gather_hermitian(const std::vector<ScbTerm>& bare,
+                                      double tol = 1e-12);
+
+/// A Pauli string as a (trivially Hermitian) ScbTerm.
+ScbTerm pauli_string_as_term(const PauliString& s, double coeff);
+
+}  // namespace gecos

@@ -1,0 +1,231 @@
+#include "ops/pauli.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gecos {
+
+namespace {
+
+// Single-qubit Pauli product table: a*b = phase * c over indices I=0,X=1,Y=2,Z=3.
+struct PauliProd {
+  cplx phase;
+  int result;
+};
+
+PauliProd pauli1_mul(int a, int b) {
+  static const cplx i(0.0, 1.0);
+  if (a == 0) return {1.0, b};
+  if (b == 0) return {1.0, a};
+  if (a == b) return {1.0, 0};
+  // XY=iZ, YZ=iX, ZX=iY and antisymmetric partners.
+  if (a == 1 && b == 2) return {i, 3};
+  if (a == 2 && b == 1) return {-i, 3};
+  if (a == 2 && b == 3) return {i, 1};
+  if (a == 3 && b == 2) return {-i, 1};
+  if (a == 3 && b == 1) return {i, 2};
+  if (a == 1 && b == 3) return {-i, 2};
+  throw std::logic_error("pauli1_mul");
+}
+
+int pauli_index(Scb s) {
+  switch (s) {
+    case Scb::I: return 0;
+    case Scb::X: return 1;
+    case Scb::Y: return 2;
+    case Scb::Z: return 3;
+    default:
+      throw std::invalid_argument("PauliString may only contain I/X/Y/Z");
+  }
+}
+
+Scb pauli_from_index(int i) {
+  static const std::array<Scb, 4> t = {Scb::I, Scb::X, Scb::Y, Scb::Z};
+  return t[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+PauliString::PauliString(std::vector<Scb> paulis) : ops_(std::move(paulis)) {
+  for (Scb s : ops_) (void)pauli_index(s);  // validate
+}
+
+PauliString PauliString::parse(const std::string& text) {
+  std::vector<Scb> ops;
+  ops.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case 'I': ops.push_back(Scb::I); break;
+      case 'X': ops.push_back(Scb::X); break;
+      case 'Y': ops.push_back(Scb::Y); break;
+      case 'Z': ops.push_back(Scb::Z); break;
+      default:
+        throw std::invalid_argument("PauliString::parse: bad char");
+    }
+  }
+  return PauliString(std::move(ops));
+}
+
+bool PauliString::is_identity() const {
+  for (Scb s : ops_)
+    if (s != Scb::I) return false;
+  return true;
+}
+
+int PauliString::weight() const {
+  int w = 0;
+  for (Scb s : ops_) w += (s != Scb::I);
+  return w;
+}
+
+std::string PauliString::str() const {
+  std::string s;
+  s.reserve(ops_.size());
+  for (Scb o : ops_) s += scb_name(o);
+  return s;
+}
+
+Matrix PauliString::to_matrix() const {
+  // Qubit 0 is the least significant bit: matrix = op[n-1] (x) ... (x) op[0].
+  Matrix m = Matrix::identity(1);
+  for (std::size_t q = ops_.size(); q-- > 0;) m = m.kron(scb_matrix(ops_[q]));
+  return m;
+}
+
+std::pair<cplx, PauliString> PauliString::multiply(const PauliString& a,
+                                                   const PauliString& b) {
+  assert(a.num_qubits() == b.num_qubits());
+  cplx phase = 1.0;
+  std::vector<Scb> out(a.num_qubits());
+  for (std::size_t q = 0; q < a.num_qubits(); ++q) {
+    const PauliProd p = pauli1_mul(pauli_index(a.op(q)), pauli_index(b.op(q)));
+    phase *= p.phase;
+    out[q] = pauli_from_index(p.result);
+  }
+  return {phase, PauliString(std::move(out))};
+}
+
+bool PauliString::commutes_with(const PauliString& o) const {
+  assert(num_qubits() == o.num_qubits());
+  int anti = 0;
+  for (std::size_t q = 0; q < ops_.size(); ++q) {
+    const int a = pauli_index(ops_[q]);
+    const int b = pauli_index(o.op(q));
+    if (a != 0 && b != 0 && a != b) ++anti;
+  }
+  return anti % 2 == 0;
+}
+
+void PauliSum::add(const PauliString& s, cplx coeff, double tol) {
+  if (std::abs(coeff) <= tol) return;
+  auto [it, inserted] = terms_.try_emplace(s, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (std::abs(it->second) <= tol) terms_.erase(it);
+  }
+}
+
+void PauliSum::add(const PauliSum& other) {
+  for (const auto& [s, c] : other.terms_) add(s, c);
+}
+
+PauliSum PauliSum::operator*(cplx s) const {
+  PauliSum r;
+  for (const auto& [str, c] : terms_) r.add(str, c * s);
+  return r;
+}
+
+PauliSum PauliSum::operator+(const PauliSum& o) const {
+  PauliSum r = *this;
+  r.add(o);
+  return r;
+}
+
+PauliSum PauliSum::operator*(const PauliSum& o) const {
+  PauliSum r;
+  for (const auto& [sa, ca] : terms_)
+    for (const auto& [sb, cb] : o.terms_) {
+      auto [phase, prod] = PauliString::multiply(sa, sb);
+      r.add(prod, ca * cb * phase);
+    }
+  return r;
+}
+
+Matrix PauliSum::to_matrix(std::size_t num_qubits) const {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  Matrix m(dim, dim);
+  for (const auto& [s, c] : terms_) {
+    assert(s.num_qubits() == num_qubits);
+    m += s.to_matrix() * c;
+  }
+  return m;
+}
+
+bool PauliSum::is_hermitian(double tol) const {
+  for (const auto& [s, c] : terms_)
+    if (std::abs(c.imag()) > tol) return false;
+  return true;
+}
+
+double PauliSum::one_norm() const {
+  double s = 0;
+  for (const auto& [str, c] : terms_) s += std::abs(c);
+  return s;
+}
+
+void PauliSum::prune(double tol) {
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    if (std::abs(it->second) <= tol)
+      it = terms_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::string PauliSum::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [s, c] : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    os << "(" << c.real();
+    if (c.imag() != 0.0) os << (c.imag() > 0 ? "+" : "") << c.imag() << "i";
+    os << ")*" << s.str();
+  }
+  return os.str();
+}
+
+cplx pauli_coefficient(const PauliString& p, const Matrix& m) {
+  const Matrix pm = p.to_matrix();
+  assert(pm.rows() == m.rows());
+  cplx tr = 0;
+  // Tr[P M] = sum_ij P(i,j) M(j,i); P is sparse (one entry per row).
+  for (std::size_t i = 0; i < pm.rows(); ++i)
+    for (std::size_t j = 0; j < pm.cols(); ++j)
+      if (pm(i, j) != cplx(0.0)) tr += pm(i, j) * m(j, i);
+  return tr / cplx(static_cast<double>(m.rows()));
+}
+
+PauliSum pauli_decompose(const Matrix& m, std::size_t num_qubits, double tol) {
+  assert(m.rows() == (std::size_t{1} << num_qubits));
+  PauliSum sum;
+  std::vector<Scb> word(num_qubits, Scb::I);
+  // Enumerate all 4^n words by counting in base 4.
+  const std::size_t total = std::size_t{1} << (2 * num_qubits);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+      static const std::array<Scb, 4> t = {Scb::I, Scb::X, Scb::Y, Scb::Z};
+      word[q] = t[c & 3];
+      c >>= 2;
+    }
+    PauliString ps(word);
+    const cplx coeff = pauli_coefficient(ps, m);
+    if (std::abs(coeff) > tol) sum.add(ps, coeff);
+  }
+  return sum;
+}
+
+}  // namespace gecos

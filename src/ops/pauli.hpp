@@ -1,0 +1,86 @@
+// Pauli-string algebra: the decomposition basis of the "usual" strategy.
+//
+// A PauliString is a word over {I,X,Y,Z}; a PauliSum is a coefficient map
+// over strings. SCB terms expand into PauliSums with 2^k strings where k is
+// the number of {n,m,sigma,sigma^dagger} factors -- the exponential blow-up
+// Section II-B1 of the paper is about.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ops/scb.hpp"
+
+namespace gecos {
+
+/// Word over {I,X,Y,Z}; index = qubit (0 = least significant).
+class PauliString {
+ public:
+  PauliString() = default;
+  explicit PauliString(std::vector<Scb> paulis);
+  /// From text, qubit 0 first, e.g. "XIZY". Only I/X/Y/Z allowed.
+  static PauliString parse(const std::string& text);
+
+  std::size_t num_qubits() const { return ops_.size(); }
+  Scb op(std::size_t q) const { return ops_[q]; }
+  const std::vector<Scb>& ops() const { return ops_; }
+
+  bool is_identity() const;
+  /// Number of non-identity factors.
+  int weight() const;
+
+  std::string str() const;
+  Matrix to_matrix() const;
+
+  /// Phase-tracked product: returns (phase, string) with a*b = phase * string.
+  static std::pair<cplx, PauliString> multiply(const PauliString& a,
+                                               const PauliString& b);
+  bool commutes_with(const PauliString& o) const;
+
+  auto operator<=>(const PauliString& o) const = default;
+
+ private:
+  std::vector<Scb> ops_;  // entries restricted to I/X/Y/Z
+};
+
+/// Sparse real/complex combination of Pauli strings.
+class PauliSum {
+ public:
+  PauliSum() = default;
+
+  void add(const PauliString& s, cplx coeff, double tol = 1e-14);
+  void add(const PauliSum& other);
+
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+  const std::map<PauliString, cplx>& terms() const { return terms_; }
+
+  PauliSum operator*(cplx s) const;
+  PauliSum operator+(const PauliSum& o) const;
+  /// Product expands distributively with Pauli phase tracking.
+  PauliSum operator*(const PauliSum& o) const;
+
+  Matrix to_matrix(std::size_t num_qubits) const;
+  bool is_hermitian(double tol = 1e-12) const;
+  /// Sum of |coeff| (the LCU normalization lambda).
+  double one_norm() const;
+  /// Drops terms with |coeff| <= tol.
+  void prune(double tol = 1e-12);
+
+  std::string str() const;
+
+ private:
+  std::map<PauliString, cplx> terms_;
+};
+
+/// Tr[P * M] / 2^n: the coefficient of P in the Pauli expansion of M.
+cplx pauli_coefficient(const PauliString& p, const Matrix& m);
+
+/// Full Pauli decomposition of a 2^n x 2^n matrix (4^n inner products; only
+/// for small verification cases).
+PauliSum pauli_decompose(const Matrix& m, std::size_t num_qubits,
+                         double tol = 1e-12);
+
+}  // namespace gecos

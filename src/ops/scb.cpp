@@ -1,0 +1,164 @@
+#include "ops/scb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gecos {
+
+namespace {
+
+const cplx kI(0.0, 1.0);
+
+Matrix make_matrix(Scb op) {
+  switch (op) {
+    case Scb::I:
+      return Matrix{{1, 0}, {0, 1}};
+    case Scb::X:
+      return Matrix{{0, 1}, {1, 0}};
+    case Scb::Y:
+      return Matrix{{0, -kI}, {kI, 0}};
+    case Scb::Z:
+      return Matrix{{1, 0}, {0, -1}};
+    case Scb::N:
+      return Matrix{{0, 0}, {0, 1}};
+    case Scb::M:
+      return Matrix{{1, 0}, {0, 0}};
+    case Scb::Sm:
+      return Matrix{{0, 1}, {0, 0}};  // |0><1|
+    case Scb::Sp:
+      return Matrix{{0, 0}, {1, 0}};  // |1><0|
+  }
+  throw std::logic_error("unknown Scb");
+}
+
+}  // namespace
+
+const Matrix& scb_matrix(Scb op) {
+  static const std::array<Matrix, 8> table = [] {
+    std::array<Matrix, 8> t;
+    for (Scb s : kAllScb) t[static_cast<std::size_t>(s)] = make_matrix(s);
+    return t;
+  }();
+  return table[static_cast<std::size_t>(op)];
+}
+
+std::string scb_name(Scb op) {
+  switch (op) {
+    case Scb::I: return "I";
+    case Scb::X: return "X";
+    case Scb::Y: return "Y";
+    case Scb::Z: return "Z";
+    case Scb::N: return "n";
+    case Scb::M: return "m";
+    case Scb::Sm: return "s";
+    case Scb::Sp: return "s+";
+  }
+  return "?";
+}
+
+Scb scb_from_name(const std::string& name) {
+  for (Scb s : kAllScb)
+    if (scb_name(s) == name) return s;
+  throw std::invalid_argument("scb_from_name: unknown operator '" + name + "'");
+}
+
+Scb scb_adjoint(Scb op) {
+  switch (op) {
+    case Scb::Sm: return Scb::Sp;
+    case Scb::Sp: return Scb::Sm;
+    default: return op;
+  }
+}
+
+bool scb_is_hermitian(Scb op) { return op != Scb::Sm && op != Scb::Sp; }
+
+bool scb_is_offdiagonal(Scb op) {
+  return op == Scb::X || op == Scb::Y || op == Scb::Sm || op == Scb::Sp;
+}
+
+bool scb_is_projector(Scb op) { return op == Scb::N || op == Scb::M; }
+
+bool scb_is_transition(Scb op) { return op == Scb::Sm || op == Scb::Sp; }
+
+bool scb_is_pauli(Scb op) {
+  return op == Scb::X || op == Scb::Y || op == Scb::Z;
+}
+
+cplx scb_entry(Scb op, int x, int y) {
+  return scb_matrix(op)(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+}
+
+std::array<cplx, 4> scb_entries(Scb op) {
+  const Matrix& m = scb_matrix(op);
+  return {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+}
+
+ScaledScb scb_mul(Scb a, Scb b) {
+  // Compute the product matrix and match it against coeff * basis element.
+  // All products are rank <= 1 in the non-identity part, so matching is exact.
+  const Matrix p = scb_matrix(a) * scb_matrix(b);
+  // Try each basis op: p == c * op requires the nonzero pattern to agree.
+  for (Scb cand : kAllScb) {
+    const Matrix& q = scb_matrix(cand);
+    cplx ratio = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < 2 && ok; ++i)
+      for (std::size_t j = 0; j < 2 && ok; ++j) {
+        const cplx pv = p(i, j), qv = q(i, j);
+        if (std::abs(qv) < 1e-14) {
+          if (std::abs(pv) > 1e-14) ok = false;
+        } else {
+          const cplx r = pv / qv;
+          if (ratio == cplx(0.0)) {
+            ratio = r;
+          } else if (std::abs(r - ratio) > 1e-13) {
+            ok = false;
+          }
+        }
+      }
+    if (ok && ratio != cplx(0.0)) return {ratio, cand};
+  }
+  if (p.norm_max() < 1e-14) return {cplx(0.0), Scb::I};
+  throw std::logic_error("scb_mul: product left the basis (cannot happen)");
+}
+
+namespace {
+
+std::optional<ScaledScb> match_scaled(const Matrix& p) {
+  if (p.norm_max() < 1e-14) return ScaledScb{cplx(0.0), Scb::I};
+  for (Scb cand : kAllScb) {
+    const Matrix& q = scb_matrix(cand);
+    cplx ratio = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < 2 && ok; ++i)
+      for (std::size_t j = 0; j < 2 && ok; ++j) {
+        const cplx pv = p(i, j), qv = q(i, j);
+        if (std::abs(qv) < 1e-14) {
+          if (std::abs(pv) > 1e-14) ok = false;
+        } else {
+          const cplx r = pv / qv;
+          if (ratio == cplx(0.0)) {
+            ratio = r;
+          } else if (std::abs(r - ratio) > 1e-13) {
+            ok = false;
+          }
+        }
+      }
+    if (ok && ratio != cplx(0.0)) return ScaledScb{ratio, cand};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ScaledScb> scb_commutator(Scb a, Scb b) {
+  const Matrix p = scb_matrix(a) * scb_matrix(b) - scb_matrix(b) * scb_matrix(a);
+  return match_scaled(p);
+}
+
+std::optional<ScaledScb> scb_anticommutator(Scb a, Scb b) {
+  const Matrix p = scb_matrix(a) * scb_matrix(b) + scb_matrix(b) * scb_matrix(a);
+  return match_scaled(p);
+}
+
+}  // namespace gecos

@@ -1,0 +1,83 @@
+// Single-Component Basis (SCB) operator algebra.
+//
+// The paper's formalism works with tensor products of the eight single-qubit
+// operators {I, X, Y, Z, n, m, sigma, sigma^dagger}. This header provides the
+// operators, their 2x2 matrices, the multiplicative Cayley table (paper
+// Table IV), commutators/anticommutators (Table V) and adjoints.
+//
+// Conventions (see DESIGN.md): sigma = |0><1| = (X + iY)/2 (annihilation),
+// sigma^dagger = |1><0|, n = |1><1|, m = |0><0|.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace gecos {
+
+enum class Scb : std::uint8_t {
+  I = 0,
+  X = 1,
+  Y = 2,
+  Z = 3,
+  N = 4,   // number operator |1><1|
+  M = 5,   // hole operator   |0><0|
+  Sm = 6,  // sigma          |0><1|
+  Sp = 7,  // sigma^dagger   |1><0|
+};
+
+inline constexpr std::array<Scb, 8> kAllScb = {Scb::I, Scb::X, Scb::Y, Scb::Z,
+                                               Scb::N, Scb::M, Scb::Sm, Scb::Sp};
+
+/// 2x2 matrix of a basis operator.
+const Matrix& scb_matrix(Scb op);
+
+/// Short printable name ("I","X","Y","Z","n","m","s","s+").
+std::string scb_name(Scb op);
+/// Parses the name produced by scb_name; throws on unknown token.
+Scb scb_from_name(const std::string& name);
+
+/// Adjoint stays in the basis: I,X,Y,Z,n,m are self-adjoint; Sm <-> Sp.
+Scb scb_adjoint(Scb op);
+
+bool scb_is_hermitian(Scb op);
+/// True for X, Y, Sm, Sp: operators with off-diagonal support (they flip the
+/// qubit in the computational basis).
+bool scb_is_offdiagonal(Scb op);
+/// True for n, m (diagonal projectors).
+bool scb_is_projector(Scb op);
+/// True for Sm, Sp (transition family of Section III).
+bool scb_is_transition(Scb op);
+/// True for X, Y, Z (Pauli family of Section III).
+bool scb_is_pauli(Scb op);
+
+/// A scalar multiple of a basis operator: coeff * op. coeff == 0 encodes the
+/// zero operator (op is then irrelevant).
+struct ScaledScb {
+  cplx coeff;
+  Scb op = Scb::I;
+};
+
+/// Product a*b following the Cayley table (paper Table IV). The product of
+/// any two basis operators is again a scalar multiple of a basis operator
+/// (possibly zero); this closure is what makes the symbolic Jordan-Wigner
+/// composition in src/fermion work.
+ScaledScb scb_mul(Scb a, Scb b);
+
+/// Commutator [a,b] = ab - ba if it is a scalar multiple of a basis element;
+/// std::nullopt when the result leaves the basis (e.g. [n,X] = i Y is in the
+/// basis, but [X, n] related entries stay representable; entries that are
+/// sums of two basis elements return nullopt).
+std::optional<ScaledScb> scb_commutator(Scb a, Scb b);
+std::optional<ScaledScb> scb_anticommutator(Scb a, Scb b);
+
+/// <x| op |y> for computational basis bits x,y in {0,1}.
+cplx scb_entry(Scb op, int x, int y);
+
+/// Matrix entries as a flat array {e00, e01, e10, e11}.
+std::array<cplx, 4> scb_entries(Scb op);
+
+}  // namespace gecos

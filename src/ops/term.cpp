@@ -1,0 +1,185 @@
+#include "ops/term.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gecos {
+
+ScbTerm::ScbTerm(cplx coeff, std::vector<Scb> ops, bool add_hc)
+    : coeff_(coeff), ops_(std::move(ops)), add_hc_(add_hc) {
+  if (ops_.empty()) throw std::invalid_argument("ScbTerm: empty operator list");
+  if (ops_.size() > 63)
+    throw std::invalid_argument("ScbTerm: more than 63 qubits unsupported");
+}
+
+ScbTerm ScbTerm::parse(const std::string& text, cplx coeff, bool add_hc) {
+  std::istringstream is(text);
+  std::vector<Scb> ops;
+  std::string tok;
+  while (is >> tok) ops.push_back(scb_from_name(tok));
+  return ScbTerm(coeff, std::move(ops), add_hc);
+}
+
+ScbTerm ScbTerm::adjoint() const {
+  std::vector<Scb> adj(ops_.size());
+  for (std::size_t q = 0; q < ops_.size(); ++q) adj[q] = scb_adjoint(ops_[q]);
+  return ScbTerm(std::conj(coeff_), std::move(adj), false);
+}
+
+bool ScbTerm::bare_is_hermitian() const {
+  for (Scb s : ops_)
+    if (!scb_is_hermitian(s)) return false;
+  return true;
+}
+
+bool ScbTerm::is_valid_hamiltonian(double tol) const {
+  if (add_hc_) {
+    // coeff*A + conj(coeff)*A† is Hermitian for any A. The only failure mode
+    // is a *diagonal* complex coefficient: if A is Hermitian the sum is
+    // 2*Re(coeff)*A, fine; but callers usually mean a complex amplitude, so we
+    // still accept it (the imaginary part simply cancels).
+    return true;
+  }
+  // Without h.c. the bare product must be Hermitian with a real coefficient.
+  return bare_is_hermitian() && std::abs(coeff_.imag()) <= tol;
+}
+
+Matrix ScbTerm::bare_matrix() const {
+  Matrix m = Matrix::identity(1);
+  for (std::size_t q = ops_.size(); q-- > 0;) m = m.kron(scb_matrix(ops_[q]));
+  return m * coeff_;
+}
+
+Matrix ScbTerm::hamiltonian_matrix() const {
+  Matrix m = bare_matrix();
+  if (add_hc_) m += m.dagger();
+  return m;
+}
+
+std::vector<int> ScbTerm::transition_qubits() const {
+  std::vector<int> r;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (scb_is_transition(ops_[q])) r.push_back(static_cast<int>(q));
+  return r;
+}
+
+std::vector<int> ScbTerm::control_qubits() const {
+  std::vector<int> r;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (scb_is_projector(ops_[q])) r.push_back(static_cast<int>(q));
+  return r;
+}
+
+std::vector<int> ScbTerm::pauli_qubits() const {
+  std::vector<int> r;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (scb_is_pauli(ops_[q])) r.push_back(static_cast<int>(q));
+  return r;
+}
+
+std::vector<int> ScbTerm::identity_qubits() const {
+  std::vector<int> r;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (ops_[q] == Scb::I) r.push_back(static_cast<int>(q));
+  return r;
+}
+
+std::uint64_t ScbTerm::flip_mask() const {
+  std::uint64_t m = 0;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (scb_is_offdiagonal(ops_[q])) m |= std::uint64_t{1} << q;
+  return m;
+}
+
+std::uint64_t ScbTerm::transition_mask() const {
+  std::uint64_t m = 0;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (scb_is_transition(ops_[q])) m |= std::uint64_t{1} << q;
+  return m;
+}
+
+std::uint64_t ScbTerm::transition_a_bits() const {
+  std::uint64_t m = 0;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (ops_[q] == Scb::Sp) m |= std::uint64_t{1} << q;
+  return m;
+}
+
+std::pair<std::uint64_t, std::uint64_t> ScbTerm::control_key() const {
+  std::uint64_t mask = 0, val = 0;
+  for (std::size_t q = 0; q < ops_.size(); ++q) {
+    if (ops_[q] == Scb::N) {
+      mask |= std::uint64_t{1} << q;
+      val |= std::uint64_t{1} << q;
+    } else if (ops_[q] == Scb::M) {
+      mask |= std::uint64_t{1} << q;
+    }
+  }
+  return {mask, val};
+}
+
+cplx ScbTerm::bare_amplitude(std::uint64_t x) const {
+  const std::uint64_t y = x ^ flip_mask();
+  cplx amp = coeff_;
+  for (std::size_t q = 0; q < ops_.size(); ++q) {
+    const int xq = static_cast<int>((x >> q) & 1);
+    const int yq = static_cast<int>((y >> q) & 1);
+    amp *= scb_entry(ops_[q], yq, xq);
+    if (amp == cplx(0.0)) return amp;
+  }
+  return amp;
+}
+
+std::string ScbTerm::str() const {
+  std::ostringstream os;
+  os << "(" << coeff_.real();
+  if (coeff_.imag() != 0.0)
+    os << (coeff_.imag() > 0 ? "+" : "") << coeff_.imag() << "i";
+  os << ") ";
+  for (std::size_t q = 0; q < ops_.size(); ++q) {
+    if (q) os << " ";
+    os << scb_name(ops_[q]);
+  }
+  if (add_hc_) os << " + h.c.";
+  return os.str();
+}
+
+Matrix terms_matrix(const std::vector<ScbTerm>& terms, std::size_t num_qubits) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  Matrix m(dim, dim);
+  for (const ScbTerm& t : terms) {
+    assert(t.num_qubits() == num_qubits);
+    m += t.hamiltonian_matrix();
+  }
+  return m;
+}
+
+void apply_terms(const std::vector<ScbTerm>& terms, std::span<const cplx> x,
+                 std::span<cplx> y) {
+  assert(x.size() == y.size());
+  const std::size_t dim = x.size();
+  for (const ScbTerm& t : terms) {
+    const std::uint64_t flip = t.flip_mask();
+    for (std::uint64_t s = 0; s < dim; ++s) {
+      const cplx amp = t.bare_amplitude(s);
+      if (amp != cplx(0.0)) y[s ^ flip] += amp * x[s];
+    }
+    if (t.add_hc()) {
+      // <y|A†|x> = conj(<x|A|y>) with y = x ^ flip.
+      for (std::uint64_t s = 0; s < dim; ++s) {
+        const cplx amp = std::conj(t.bare_amplitude(s ^ flip));
+        if (amp != cplx(0.0)) y[s ^ flip] += amp * x[s];
+      }
+    }
+  }
+}
+
+double terms_one_norm_bound(const std::vector<ScbTerm>& terms) {
+  double s = 0;
+  for (const ScbTerm& t : terms) s += std::abs(t.coeff()) * (t.add_hc() ? 2 : 1);
+  return s;
+}
+
+}  // namespace gecos
