@@ -1,0 +1,298 @@
+// Benchmark runner for the packed symplectic Pauli engine.
+//
+// Establishes the repo's perf trajectory (BENCH_pauli.json): term -> Pauli
+// expansion, PauliSum products, matrix-free statevector application, dense
+// matmul and expm. The packed paths are measured against the retained legacy
+// implementations (ops/pauli_ref.hpp and a per-qubit apply loop) so
+// regressions and speedup claims are visible in one artifact.
+//
+// Usage: bench_main [--quick] [--out PATH]   (default PATH: BENCH_pauli.json)
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linalg/expm.hpp"
+#include "linalg/matrix.hpp"
+#include "ops/conversion.hpp"
+#include "ops/pauli.hpp"
+#include "ops/pauli_ref.hpp"
+#include "ops/term.hpp"
+
+using namespace gecos;
+
+namespace {
+
+std::size_t sink = 0;  // defeats dead-code elimination of benchmark bodies
+
+/// Median seconds per call over `reps` timed runs of >= min_seconds each.
+double time_per_op(const std::function<void()>& fn, double min_seconds,
+                   int reps = 3) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    int iters = 0;
+    const auto start = clock::now();
+    double elapsed = 0;
+    while (elapsed < min_seconds) {
+      fn();
+      ++iters;
+      elapsed = std::chrono::duration<double>(clock::now() - start).count();
+    }
+    samples.push_back(elapsed / iters);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct BenchResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+std::string json_escape_free_format(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+bool write_json(const std::string& path, bool quick,
+                const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"gecos-bench-v1\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    {\"name\": \"" << results[i].name << "\"";
+    for (const auto& [k, v] : results[i].fields)
+      out << ", \"" << k << "\": " << json_escape_free_format(v);
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  return out.good();
+}
+
+PauliString random_string(std::size_t n, std::mt19937& rng) {
+  static const std::array<Scb, 4> t = {Scb::I, Scb::X, Scb::Y, Scb::Z};
+  std::vector<Scb> ops(n);
+  for (auto& o : ops) o = t[rng() % 4];
+  return PauliString(std::move(ops));
+}
+
+/// A term whose bare product expands to exactly 2^k Pauli strings.
+ScbTerm make_expanding_term(std::size_t n, std::size_t k, std::mt19937& rng) {
+  static const std::array<Scb, 4> branching = {Scb::N, Scb::M, Scb::Sm,
+                                               Scb::Sp};
+  static const std::array<Scb, 4> fixed = {Scb::I, Scb::X, Scb::Y, Scb::Z};
+  std::vector<Scb> ops(n);
+  for (std::size_t q = 0; q < n; ++q)
+    ops[q] = q < k ? branching[rng() % 4] : fixed[rng() % 4];
+  return ScbTerm(cplx(0.8, -0.3), std::move(ops), false);
+}
+
+/// Pre-refactor apply_terms: per-qubit bare_amplitude on every basis state.
+void legacy_apply_terms(const std::vector<ScbTerm>& terms,
+                        std::span<const cplx> x, std::span<cplx> y) {
+  const std::size_t dim = x.size();
+  for (const ScbTerm& t : terms) {
+    const std::uint64_t flip = t.flip_mask();
+    for (std::uint64_t s = 0; s < dim; ++s) {
+      const cplx amp = t.bare_amplitude(s);
+      if (amp != cplx(0.0)) y[s ^ flip] += amp * x[s];
+    }
+    if (t.add_hc()) {
+      for (std::uint64_t s = 0; s < dim; ++s) {
+        const cplx amp = std::conj(t.bare_amplitude(s ^ flip));
+        if (amp != cplx(0.0)) y[s ^ flip] += amp * x[s];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_pauli.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double min_s = quick ? 0.05 : 0.25;
+  std::mt19937 rng(20260730);
+  std::vector<BenchResult> results;
+
+  // -- term -> Pauli expansion (the Fig. 1 "mapping" arrow) ------------------
+  {
+    const std::size_t n = 32;
+    const std::size_t k = quick ? 10 : 14;  // 2^k strings
+    const ScbTerm term = make_expanding_term(n, k, rng);
+    const double strings = static_cast<double>(std::size_t{1} << k);
+
+    const double packed_s = time_per_op(
+        [&] { sink += term_to_pauli(term).size(); }, min_s);
+    const double ref_s = time_per_op(
+        [&] { sink += ref_term_to_pauli(term).size(); }, min_s);
+    std::printf("term_expansion       n=%zu strings=%g packed=%.3fms ref=%.3fms"
+                " speedup=%.2fx\n",
+                n, strings, packed_s * 1e3, ref_s * 1e3, ref_s / packed_s);
+    results.push_back({"term_expansion",
+                       {{"num_qubits", static_cast<double>(n)},
+                        {"strings", strings},
+                        {"seconds_per_op", packed_s},
+                        {"strings_per_sec", strings / packed_s},
+                        {"ref_seconds_per_op", ref_s},
+                        {"speedup_vs_ref", ref_s / packed_s}}});
+  }
+
+  // -- PauliSum * PauliSum ---------------------------------------------------
+  {
+    const std::size_t n = 32;
+    const std::size_t terms = quick ? 48 : 128;  // terms^2 string products
+    PauliSum a(n), b(n);
+    RefPauliSum ra, rb;
+    std::uniform_real_distribution<double> cd(-1.0, 1.0);
+    while (a.size() < terms) {
+      const PauliString s = random_string(n, rng);
+      const cplx c(cd(rng), cd(rng));
+      a.add(s, c);
+      ra.add(s, c);
+    }
+    while (b.size() < terms) {
+      const PauliString s = random_string(n, rng);
+      const cplx c(cd(rng), cd(rng));
+      b.add(s, c);
+      rb.add(s, c);
+    }
+    const double pairs = static_cast<double>(terms) * terms;
+    const double packed_s =
+        time_per_op([&] { sink += (a * b).size(); }, min_s);
+    const double ref_s = time_per_op([&] { sink += (ra * rb).size(); }, min_s);
+    std::printf("pauli_sum_product    n=%zu pairs=%g packed=%.3fms ref=%.3fms"
+                " speedup=%.2fx\n",
+                n, pairs, packed_s * 1e3, ref_s * 1e3, ref_s / packed_s);
+    results.push_back({"pauli_sum_product",
+                       {{"num_qubits", static_cast<double>(n)},
+                        {"terms_each", static_cast<double>(terms)},
+                        {"string_products", pairs},
+                        {"seconds_per_op", packed_s},
+                        {"products_per_sec", pairs / packed_s},
+                        {"ref_seconds_per_op", ref_s},
+                        {"speedup_vs_ref", ref_s / packed_s}}});
+  }
+
+  // -- matrix-free statevector apply ----------------------------------------
+  {
+    const std::size_t n = quick ? 12 : 16;
+    const std::size_t dim = std::size_t{1} << n;
+    std::vector<ScbTerm> terms;
+    for (int j = 0; j < 16; ++j)
+      terms.push_back(make_expanding_term(n, 4, rng));
+    const std::vector<cplx> x = random_state(dim, rng);
+    std::vector<cplx> y(dim);
+
+    const double kernel_s = time_per_op(
+        [&] {
+          std::fill(y.begin(), y.end(), cplx(0.0));
+          apply_terms(terms, x, y);
+          sink += static_cast<std::size_t>(std::abs(y[0].real()) < 2);
+        },
+        min_s);
+    const double legacy_s = time_per_op(
+        [&] {
+          std::fill(y.begin(), y.end(), cplx(0.0));
+          legacy_apply_terms(terms, x, y);
+          sink += static_cast<std::size_t>(std::abs(y[0].real()) < 2);
+        },
+        min_s);
+    const double amps = static_cast<double>(dim) * static_cast<double>(terms.size());
+    std::printf("scb_apply            n=%zu terms=%zu kernel=%.3fms"
+                " legacy=%.3fms speedup=%.2fx\n",
+                n, terms.size(), kernel_s * 1e3, legacy_s * 1e3,
+                legacy_s / kernel_s);
+    results.push_back({"scb_apply",
+                       {{"num_qubits", static_cast<double>(n)},
+                        {"terms", static_cast<double>(terms.size())},
+                        {"seconds_per_op", kernel_s},
+                        {"term_amplitudes_per_sec", amps / kernel_s},
+                        {"ref_seconds_per_op", legacy_s},
+                        {"speedup_vs_ref", legacy_s / kernel_s}}});
+
+    PauliSum ps(n);
+    std::uniform_real_distribution<double> cd(-1.0, 1.0);
+    while (ps.size() < 64) ps.add(random_string(n, rng), cplx(cd(rng)));
+    const double psum_s = time_per_op(
+        [&] {
+          std::fill(y.begin(), y.end(), cplx(0.0));
+          ps.apply(x, y);
+          sink += static_cast<std::size_t>(std::abs(y[0].real()) < 2);
+        },
+        min_s);
+    const double pamps = static_cast<double>(dim) * 64.0;
+    std::printf("pauli_sum_apply      n=%zu terms=64 t=%.3fms (%.1f Mamp/s)\n",
+                n, psum_s * 1e3, pamps / psum_s / 1e6);
+    results.push_back({"pauli_sum_apply",
+                       {{"num_qubits", static_cast<double>(n)},
+                        {"terms", 64.0},
+                        {"seconds_per_op", psum_s},
+                        {"term_amplitudes_per_sec", pamps / psum_s}}});
+  }
+
+  // -- dense kernels ---------------------------------------------------------
+  {
+    const std::size_t n = quick ? 128 : 384;
+    const Matrix a = Matrix::random_hermitian(n, rng);
+    const Matrix b = Matrix::random_hermitian(n, rng);
+    Matrix out(n, n);
+    const double mm_s = time_per_op(
+        [&] {
+          Matrix::mul_into(out, a, b);
+          sink += static_cast<std::size_t>(std::abs(out(0, 0).real()) < 1e9);
+        },
+        min_s);
+    const double nd = static_cast<double>(n);
+    std::printf("dense_matmul         n=%zu t=%.3fms (%.2f complex GFLOP/s)\n",
+                n, mm_s * 1e3, 8.0 * nd * nd * nd / mm_s / 1e9);
+    results.push_back({"dense_matmul",
+                       {{"size", nd},
+                        {"seconds_per_op", mm_s},
+                        {"cmul_per_sec", nd * nd * nd / mm_s}}});
+
+    const std::size_t ne = quick ? 48 : 96;
+    const Matrix h = Matrix::random_hermitian(ne, rng);
+    const Matrix ih = h * cplx(0.0, 1.0);
+    const double expm_s = time_per_op(
+        [&] {
+          const Matrix e = expm(ih);
+          sink += static_cast<std::size_t>(std::abs(e(0, 0).real()) < 2);
+        },
+        min_s);
+    std::printf("dense_expm           n=%zu t=%.3fms\n", ne, expm_s * 1e3);
+    results.push_back({"dense_expm",
+                       {{"size", static_cast<double>(ne)},
+                        {"seconds_per_op", expm_s}}});
+  }
+
+  if (!write_json(out_path, quick, results)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (sink=%zu)\n", out_path.c_str(), sink);
+  return 0;
+}

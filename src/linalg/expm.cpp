@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace gecos {
 
@@ -111,13 +112,21 @@ Matrix expm(const Matrix& a) {
   Matrix s = a * cplx(std::ldexp(1.0, -k));
   Matrix result = Matrix::identity(n);
   Matrix power = Matrix::identity(n);
+  // One scratch buffer serves every product: the Taylor loop ping-pongs
+  // power <-> scratch and the squaring loop result <-> scratch, so the 18 + k
+  // multiplies allocate exactly once instead of once per iteration.
+  Matrix scratch(n, n);
   double fact = 1.0;
   for (int term = 1; term <= 18; ++term) {
-    power = power * s;
+    Matrix::mul_into(scratch, power, s);
+    std::swap(power, scratch);
     fact *= term;
-    result += power * cplx(1.0 / fact);
+    result.add_scaled(power, cplx(1.0 / fact));
   }
-  for (int i = 0; i < k; ++i) result = result * result;
+  for (int i = 0; i < k; ++i) {
+    Matrix::mul_into(scratch, result, result);
+    std::swap(result, scratch);
+  }
   return result;
 }
 

@@ -57,6 +57,14 @@ class Matrix {
   Matrix& operator-=(const Matrix& o);
   Matrix& operator*=(cplx s);
 
+  /// *this += s * o without a temporary.
+  Matrix& add_scaled(const Matrix& o, cplx s);
+
+  /// out = a * b into an existing (or resized) buffer; no allocation when
+  /// out already has the right shape. out must not alias a or b. This is the
+  /// single product kernel (cache-blocked over k-panels); operator* wraps it.
+  static void mul_into(Matrix& out, const Matrix& a, const Matrix& b);
+
   /// Conjugate transpose.
   Matrix dagger() const;
   Matrix transpose() const;

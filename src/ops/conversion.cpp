@@ -1,60 +1,116 @@
 #include "ops/conversion.hpp"
 
+#include <array>
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <map>
 #include <stdexcept>
+
+#include "ops/packed.hpp"
 
 namespace gecos {
 
 namespace {
 
-/// Single-qubit Pauli expansion op = sum_i coeff_i * P_i.
-std::vector<std::pair<cplx, Scb>> scb_to_pauli1(Scb op) {
-  const cplx i(0.0, 1.0);
-  switch (op) {
-    case Scb::I: return {{1.0, Scb::I}};
-    case Scb::X: return {{1.0, Scb::X}};
-    case Scb::Y: return {{1.0, Scb::Y}};
-    case Scb::Z: return {{1.0, Scb::Z}};
-    case Scb::N: return {{0.5, Scb::I}, {-0.5, Scb::Z}};   // (I - Z)/2
-    case Scb::M: return {{0.5, Scb::I}, {0.5, Scb::Z}};    // (I + Z)/2
-    case Scb::Sm: return {{0.5, Scb::X}, {0.5 * i, Scb::Y}};   // (X + iY)/2
-    case Scb::Sp: return {{0.5, Scb::X}, {-0.5 * i, Scb::Y}};  // (X - iY)/2
-  }
-  throw std::logic_error("scb_to_pauli1");
-}
-
-void expand_bare(const ScbTerm& term, cplx scale, PauliSum& out) {
-  // Distribute the per-qubit expansions; recursion depth = num_qubits.
+// Iterative mask expansion of one bare product into `out` (see DESIGN.md,
+// "Mask expansion"). Every SCB factor is either a fixed Pauli (I/X/Y/Z: one
+// packed (x,z) bit pair) or a two-branch factor:
+//
+//   n  = (I - Z)/2      m  = (I + Z)/2
+//   s  = (X + iY)/2     s+ = (X - iY)/2
+//
+// Both branches of every factor share the same x bit and differ only in the
+// z bit, and the two branch coefficients differ by a unit {+-1, +-i}. So the
+// 2^k strings of the expansion are enumerated with a Gray-code counter:
+// per step one z bit toggles and the running coefficient multiplies by an
+// exact unit ratio -- no recursion, no per-string std::vector<Scb>, no
+// re-accumulated products, and writes go straight into the packed hash table.
+void expand_bare_packed(const ScbTerm& term, PauliSum& out) {
   const std::size_t n = term.num_qubits();
-  std::vector<Scb> word(n, Scb::I);
-  auto rec = [&](auto&& self, std::size_t q, cplx acc) -> void {
-    if (q == n) {
-      out.add(PauliString(word), acc);
-      return;
-    }
-    for (const auto& [c, p] : scb_to_pauli1(term.op(q))) {
-      word[q] = p;
-      self(self, q + 1, acc * c);
-    }
-    word[q] = Scb::I;
+  if (out.num_qubits() != n)
+    throw std::invalid_argument("terms_to_pauli: mixed qubit counts");
+  const std::size_t words = packed_words(n);
+  std::vector<std::uint64_t> x(words, 0), z(words, 0);
+
+  struct Branch {
+    std::size_t word;      // word index of the toggling z bit
+    std::uint64_t bit;     // single-bit mask within that word
+    cplx up_ratio;         // coeff ratio option0 -> option1
+    cplx down_ratio;       // coeff ratio option1 -> option0
   };
-  rec(rec, 0, scale * term.coeff());
+  std::vector<Branch> branches;
+  cplx coeff = term.coeff();
+
+  const cplx i(0.0, 1.0);
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::size_t w = q / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (q % 64);
+    switch (term.op(q)) {
+      case Scb::I: break;
+      case Scb::X: x[w] |= bit; break;
+      case Scb::Y: x[w] |= bit; z[w] |= bit; break;
+      case Scb::Z: z[w] |= bit; break;
+      // Branch option 0 is the z=0 member; its coefficient folds into the
+      // base coefficient. Option 1 sets the z bit and scales by the ratio.
+      case Scb::N:  // 0.5*I, -0.5*Z
+        coeff *= 0.5;
+        branches.push_back({w, bit, -1.0, -1.0});
+        break;
+      case Scb::M:  // 0.5*I, 0.5*Z
+        coeff *= 0.5;
+        branches.push_back({w, bit, 1.0, 1.0});
+        break;
+      case Scb::Sm:  // 0.5*X, 0.5i*Y
+        coeff *= 0.5;
+        x[w] |= bit;
+        branches.push_back({w, bit, i, -i});
+        break;
+      case Scb::Sp:  // 0.5*X, -0.5i*Y
+        coeff *= 0.5;
+        x[w] |= bit;
+        branches.push_back({w, bit, -i, i});
+        break;
+    }
+  }
+
+  const std::size_t k = branches.size();
+  // Not an assert: 1 << k with k >= 64 is UB in Release builds, and a 2^63
+  // string expansion could never fit in memory anyway.
+  if (k >= 63)
+    throw std::invalid_argument(
+        "term_to_pauli: too many projector/transition factors to expand");
+  out.reserve(out.size() + (std::size_t{1} << k));
+  out.add_raw(x.data(), z.data(), coeff);
+  std::uint64_t gray = 0;
+  for (std::uint64_t code = 1; code < (std::uint64_t{1} << k); ++code) {
+    const int j = std::countr_zero(code);
+    const std::uint64_t jbit = std::uint64_t{1} << j;
+    gray ^= jbit;
+    const Branch& br = branches[static_cast<std::size_t>(j)];
+    coeff *= (gray & jbit) ? br.up_ratio : br.down_ratio;
+    z[br.word] ^= br.bit;
+    out.add_raw(x.data(), z.data(), coeff);
+  }
 }
 
 }  // namespace
 
 PauliSum term_to_pauli(const ScbTerm& term) {
-  PauliSum sum;
-  expand_bare(term, 1.0, sum);
-  if (term.add_hc()) expand_bare(term.adjoint(), 1.0, sum);
+  PauliSum sum(term.num_qubits());
+  expand_bare_packed(term, sum);
+  if (term.add_hc()) expand_bare_packed(term.adjoint(), sum);
   sum.prune();
   return sum;
 }
 
 PauliSum terms_to_pauli(const std::vector<ScbTerm>& terms) {
   PauliSum sum;
-  for (const ScbTerm& t : terms) sum.add(term_to_pauli(t));
+  for (const ScbTerm& t : terms) {
+    if (sum.num_qubits() == 0) sum = PauliSum(t.num_qubits());
+    expand_bare_packed(t, sum);
+    if (t.add_hc()) expand_bare_packed(t.adjoint(), sum);
+  }
   sum.prune();
   return sum;
 }

@@ -1,0 +1,153 @@
+#include "ops/packed.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "ops/pauli.hpp"
+
+namespace gecos {
+
+namespace {
+
+// Per-qubit (x, z) code <-> Scb. (0,0)=I, (1,0)=X, (1,1)=Y, (0,1)=Z.
+inline Scb scb_from_bits(unsigned x, unsigned z) {
+  static constexpr std::array<Scb, 4> t = {Scb::I, Scb::X, Scb::Z, Scb::Y};
+  return t[(z << 1) | x];
+}
+
+inline void bits_from_scb(Scb s, unsigned& x, unsigned& z) {
+  switch (s) {
+    case Scb::I: x = 0; z = 0; return;
+    case Scb::X: x = 1; z = 0; return;
+    case Scb::Y: x = 1; z = 1; return;
+    case Scb::Z: x = 0; z = 1; return;
+    default:
+      throw std::invalid_argument("PackedPauli may only contain I/X/Y/Z");
+  }
+}
+
+}  // namespace
+
+int packed_mul_phase(const std::uint64_t* ax, const std::uint64_t* az,
+                     const std::uint64_t* bx, const std::uint64_t* bz,
+                     std::size_t words) {
+  int g = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t cx = ax[i] ^ bx[i];
+    const std::uint64_t cz = az[i] ^ bz[i];
+    g += std::popcount(ax[i] & az[i]) + std::popcount(bx[i] & bz[i]) +
+         2 * std::popcount(az[i] & bx[i]) - std::popcount(cx & cz);
+  }
+  return ((g % 4) + 4) % 4;
+}
+
+bool packed_commute(const std::uint64_t* ax, const std::uint64_t* az,
+                    const std::uint64_t* bx, const std::uint64_t* bz,
+                    std::size_t words) {
+  int anti = 0;
+  for (std::size_t i = 0; i < words; ++i)
+    anti += std::popcount(ax[i] & bz[i]) + std::popcount(az[i] & bx[i]);
+  return (anti & 1) == 0;
+}
+
+PackedPauli::PackedPauli(std::size_t num_qubits, const std::uint64_t* x,
+                         const std::uint64_t* z)
+    : PackedPauli(num_qubits) {
+  const std::size_t w = words();
+  for (std::size_t i = 0; i < w; ++i) {
+    xz_[i] = x[i];
+    xz_[w + i] = z[i];
+  }
+  // Bits above num_qubits must stay clear so ==/hash are well-defined;
+  // normalize rather than trust the caller.
+  if (num_qubits_ % 64 != 0 && w > 0) {
+    const std::uint64_t tail = (std::uint64_t{1} << (num_qubits_ % 64)) - 1;
+    xz_[w - 1] &= tail;
+    xz_[2 * w - 1] &= tail;
+  }
+}
+
+PackedPauli PackedPauli::from_string(const PauliString& s) {
+  PackedPauli p(s.num_qubits());
+  for (std::size_t q = 0; q < s.num_qubits(); ++q) p.set_op(q, s.op(q));
+  return p;
+}
+
+PackedPauli PackedPauli::parse(const std::string& text) {
+  return from_string(PauliString::parse(text));
+}
+
+Scb PackedPauli::op(std::size_t q) const {
+  assert(q < num_qubits_);
+  const std::size_t w = q / 64, b = q % 64;
+  return scb_from_bits((x_words()[w] >> b) & 1, (z_words()[w] >> b) & 1);
+}
+
+void PackedPauli::set_op(std::size_t q, Scb s) {
+  assert(q < num_qubits_);
+  unsigned x, z;
+  bits_from_scb(s, x, z);
+  const std::size_t w = q / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (q % 64);
+  xz_[w] = (xz_[w] & ~bit) | (x ? bit : 0);
+  xz_[words() + w] = (xz_[words() + w] & ~bit) | (z ? bit : 0);
+}
+
+bool PackedPauli::is_identity() const {
+  for (std::uint64_t w : xz_)
+    if (w != 0) return false;
+  return true;
+}
+
+int PackedPauli::weight() const {
+  int w = 0;
+  const std::size_t nw = words();
+  for (std::size_t i = 0; i < nw; ++i)
+    w += std::popcount(x_words()[i] | z_words()[i]);
+  return w;
+}
+
+PauliString PackedPauli::to_pauli_string() const {
+  std::vector<Scb> ops(num_qubits_);
+  for (std::size_t q = 0; q < num_qubits_; ++q) ops[q] = op(q);
+  return PauliString(std::move(ops));
+}
+
+std::string PackedPauli::str() const {
+  std::string s;
+  s.reserve(num_qubits_);
+  for (std::size_t q = 0; q < num_qubits_; ++q) s += scb_name(op(q));
+  return s;
+}
+
+Matrix PackedPauli::to_matrix() const { return to_pauli_string().to_matrix(); }
+
+std::pair<cplx, PackedPauli> PackedPauli::multiply(const PackedPauli& a,
+                                                   const PackedPauli& b) {
+  assert(a.num_qubits_ == b.num_qubits_);
+  const std::size_t w = a.words();
+  const int g = packed_mul_phase(a.x_words(), a.z_words(), b.x_words(),
+                                 b.z_words(), w);
+  PackedPauli r(a.num_qubits_);
+  for (std::size_t i = 0; i < 2 * w; ++i) r.xz_[i] = a.xz_[i] ^ b.xz_[i];
+  return {packed_phase(g), std::move(r)};
+}
+
+bool PackedPauli::commutes_with(const PackedPauli& o) const {
+  assert(num_qubits_ == o.num_qubits_);
+  return packed_commute(x_words(), z_words(), o.x_words(), o.z_words(),
+                        words());
+}
+
+bool PackedPauli::less_qubitwise(const PackedPauli& a, const PackedPauli& b) {
+  assert(a.num_qubits_ == b.num_qubits_);
+  // Enum order I=0 < X=1 < Y=2 < Z=3 is what vector<Scb>'s <=> used.
+  for (std::size_t q = 0; q < a.num_qubits_; ++q) {
+    const auto ca = static_cast<unsigned>(a.op(q));
+    const auto cb = static_cast<unsigned>(b.op(q));
+    if (ca != cb) return ca < cb;
+  }
+  return false;
+}
+
+}  // namespace gecos

@@ -1,0 +1,134 @@
+// Packed symplectic representation of Pauli strings.
+//
+// A Pauli word over n qubits is stored as two bitmasks x, z of n bits each
+// (multi-word std::uint64_t for n > 64) under the phase convention
+//
+//   W(x, z) = prod_q i^{x_q z_q} X_q^{x_q} Z_q^{z_q}
+//
+// so that (x,z) = (0,0) -> I, (1,0) -> X, (1,1) -> Y, (0,1) -> Z literally
+// (no hidden global phase; see DESIGN.md "Packed symplectic layout"). Products
+// and commutation then reduce to XOR/AND/popcount over whole words:
+//
+//   W(x1,z1) W(x2,z2) = i^g W(x1^x2, z1^z2),
+//   g = pc(x1&z1) + pc(x2&z2) + 2 pc(z1&x2) - pc((x1^x2)&(z1^z2))   (mod 4)
+//
+// replacing the per-qubit Cayley loop of PauliString::multiply. This is the
+// engine behind the rewritten PauliSum and the iterative mask expansion in
+// conversion.cpp; the legacy per-qubit path is retained (ops/pauli_ref.hpp)
+// as the correctness and benchmark reference.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ops/scb.hpp"
+
+namespace gecos {
+
+class PauliString;  // ops/pauli.hpp
+
+/// Number of 64-bit words needed for an n-qubit mask.
+constexpr std::size_t packed_words(std::size_t num_qubits) {
+  return (num_qubits + 63) / 64;
+}
+
+// -- raw word-span kernels (shared by PackedPauli and PauliSum) --------------
+
+/// Phase exponent g in [0,4) with a*b = i^g * (ax^bx, az^bz).
+int packed_mul_phase(const std::uint64_t* ax, const std::uint64_t* az,
+                     const std::uint64_t* bx, const std::uint64_t* bz,
+                     std::size_t words);
+
+/// i^g for g in [0,4).
+inline cplx packed_phase(int g) {
+  switch (g & 3) {
+    case 0: return {1.0, 0.0};
+    case 1: return {0.0, 1.0};
+    case 2: return {-1.0, 0.0};
+    default: return {0.0, -1.0};
+  }
+}
+
+/// True when the symplectic form pc(ax&bz) + pc(az&bx) is even.
+bool packed_commute(const std::uint64_t* ax, const std::uint64_t* az,
+                    const std::uint64_t* bx, const std::uint64_t* bz,
+                    std::size_t words);
+
+/// splitmix64 finalizer; good avalanche for open addressing.
+inline std::uint64_t packed_mix64(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+/// Hash of an (x, z) mask pair of `words` words each. The single fold used
+/// everywhere a packed key is hashed (PackedPauli::hash, the PauliSum table);
+/// the two spans need not be contiguous.
+inline std::uint64_t packed_hash_xz(const std::uint64_t* x,
+                                    const std::uint64_t* z,
+                                    std::size_t words) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < words; ++i)
+    h = packed_mix64(h ^ packed_mix64(x[i]));
+  for (std::size_t i = 0; i < words; ++i)
+    h = packed_mix64(h ^ packed_mix64(z[i]));
+  return h;
+}
+
+/// Word-packed Pauli word with value semantics. Qubit q lives in bit (q % 64)
+/// of word (q / 64) of each mask.
+class PackedPauli {
+ public:
+  PackedPauli() = default;
+  /// Identity on num_qubits qubits.
+  explicit PackedPauli(std::size_t num_qubits)
+      : num_qubits_(num_qubits), xz_(2 * packed_words(num_qubits), 0) {}
+  PackedPauli(std::size_t num_qubits, const std::uint64_t* x,
+              const std::uint64_t* z);
+
+  static PackedPauli from_string(const PauliString& s);
+  /// From text, qubit 0 first, e.g. "XIZY" (same grammar as PauliString).
+  static PackedPauli parse(const std::string& text);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t words() const { return xz_.size() / 2; }
+  const std::uint64_t* x_words() const { return xz_.data(); }
+  const std::uint64_t* z_words() const { return xz_.data() + words(); }
+
+  Scb op(std::size_t q) const;
+  void set_op(std::size_t q, Scb s);
+
+  bool is_identity() const;
+  /// Number of non-identity factors: pc(x | z).
+  int weight() const;
+
+  PauliString to_pauli_string() const;
+  std::string str() const;
+  Matrix to_matrix() const;
+
+  /// Phase-tracked product via the word kernels: a*b = phase * string.
+  static std::pair<cplx, PackedPauli> multiply(const PackedPauli& a,
+                                               const PackedPauli& b);
+  bool commutes_with(const PackedPauli& o) const;
+
+  bool operator==(const PackedPauli& o) const = default;
+  std::uint64_t hash() const {
+    return packed_hash_xz(x_words(), z_words(), words());
+  }
+
+  /// Qubit-wise lexicographic order with I < X < Y < Z (matches the ordering
+  /// of the legacy std::map<PauliString, cplx>, so sorted views stay
+  /// deterministic and comparable across representations).
+  static bool less_qubitwise(const PackedPauli& a, const PackedPauli& b);
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<std::uint64_t> xz_;  // x words [0, w), z words [w, 2w)
+};
+
+}  // namespace gecos

@@ -4,13 +4,25 @@
 // over strings. SCB terms expand into PauliSums with 2^k strings where k is
 // the number of {n,m,sigma,sigma^dagger} factors -- the exponential blow-up
 // Section II-B1 of the paper is about.
+//
+// PauliSum stores its strings in the packed symplectic representation
+// (ops/packed.hpp) inside a flat open-addressing hash table (quadratic
+// probing, power-of-two capacity), so add/product run allocation-free per
+// term with O(words) XOR/popcount kernels instead of the legacy
+// std::map<PauliString, cplx> with per-qubit Cayley loops. The legacy layer
+// survives as RefPauliSum (ops/pauli_ref.hpp) for tests and benchmarks;
+// sorted_terms() provides the deterministic ordered view the map used to
+// give for free.
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "ops/packed.hpp"
 #include "ops/scb.hpp"
 
 namespace gecos {
@@ -35,6 +47,8 @@ class PauliString {
   Matrix to_matrix() const;
 
   /// Phase-tracked product: returns (phase, string) with a*b = phase * string.
+  /// Per-qubit Cayley loop; kept as the legacy reference for the packed
+  /// word-parallel PackedPauli::multiply.
   static std::pair<cplx, PauliString> multiply(const PauliString& a,
                                                const PauliString& b);
   bool commutes_with(const PauliString& o) const;
@@ -45,34 +59,86 @@ class PauliString {
   std::vector<Scb> ops_;  // entries restricted to I/X/Y/Z
 };
 
-/// Sparse real/complex combination of Pauli strings.
+/// Sparse complex combination of Pauli strings over packed symplectic keys.
+///
+/// A default-constructed sum adopts the qubit count of the first string
+/// added; all strings must share it. Cancelled terms (|coeff| <= tol on add)
+/// stop counting toward size() and are dropped from iteration immediately;
+/// their table slots are reclaimed on the next rehash or prune().
 class PauliSum {
  public:
   PauliSum() = default;
+  explicit PauliSum(std::size_t num_qubits) { ensure_qubits(num_qubits); }
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  /// 64-bit words per mask (x or z) of each stored key.
+  std::size_t words() const { return words_; }
 
   void add(const PauliString& s, cplx coeff, double tol = 1e-14);
+  void add(const PackedPauli& p, cplx coeff, double tol = 1e-14);
   void add(const PauliSum& other);
+  /// Expert API for allocation-free hot loops: key given as raw x/z spans of
+  /// words() words each (bits above num_qubits() must be clear).
+  void add_raw(const std::uint64_t* x, const std::uint64_t* z, cplx coeff,
+               double tol = 1e-14);
 
-  std::size_t size() const { return terms_.size(); }
-  bool empty() const { return terms_.empty(); }
-  const std::map<PauliString, cplx>& terms() const { return terms_; }
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  /// Coefficient of a string (0 if absent).
+  cplx coeff_of(const PauliString& s) const;
+  cplx coeff_of(const PackedPauli& p) const;
+
+  /// Deterministic snapshot ordered qubit-wise with I < X < Y < Z — the same
+  /// order the legacy std::map iteration produced. O(size * num_qubits log).
+  std::vector<std::pair<PauliString, cplx>> sorted_terms() const;
+
+  /// Unordered fast iteration: f(const std::uint64_t* x,
+  /// const std::uint64_t* z, cplx coeff) per live term.
+  template <typename F>
+  void for_each_raw(F&& f) const {
+    const std::size_t stride = 2 * words_;
+    for (std::size_t i = 0; i < cap_; ++i)
+      if (state_[i] == kLive)
+        f(keys_.data() + i * stride, keys_.data() + i * stride + words_,
+          coeffs_[i]);
+  }
+
+  /// Pre-sizes the table for n live terms.
+  void reserve(std::size_t n);
 
   PauliSum operator*(cplx s) const;
   PauliSum operator+(const PauliSum& o) const;
-  /// Product expands distributively with Pauli phase tracking.
+  /// Product expands distributively with packed-word phase tracking.
   PauliSum operator*(const PauliSum& o) const;
 
   Matrix to_matrix(std::size_t num_qubits) const;
   bool is_hermitian(double tol = 1e-12) const;
   /// Sum of |coeff| (the LCU normalization lambda).
   double one_norm() const;
-  /// Drops terms with |coeff| <= tol.
+  /// Drops terms with |coeff| <= tol and compacts the table.
   void prune(double tol = 1e-12);
+
+  /// y += H x matrix-free: each term costs O(1) mask ops per basis state,
+  /// no dense to_matrix() materialization. Requires x.size() == 2^n.
+  void apply(std::span<const cplx> x, std::span<cplx> y) const;
 
   std::string str() const;
 
  private:
-  std::map<PauliString, cplx> terms_;
+  static constexpr std::uint8_t kEmpty = 0, kLive = 1, kDead = 2;
+
+  void ensure_qubits(std::size_t n);
+  void grow(std::size_t min_live_capacity);
+
+  std::size_t num_qubits_ = 0;
+  std::size_t words_ = 0;
+  std::size_t cap_ = 0;       // slot count, power of two (or 0 before first add)
+  std::size_t occupied_ = 0;  // live + dead slots
+  std::size_t live_ = 0;
+  std::vector<std::uint64_t> keys_;  // cap_ * 2*words_: x block then z block
+  std::vector<cplx> coeffs_;         // cap_
+  std::vector<std::uint8_t> state_;  // cap_
 };
 
 /// Tr[P * M] / 2^n: the coefficient of P in the Pauli expansion of M.

@@ -1,0 +1,136 @@
+#include "ops/pauli_ref.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gecos {
+
+void RefPauliSum::add(const PauliString& s, cplx coeff, double tol) {
+  if (std::abs(coeff) <= tol) return;
+  auto [it, inserted] = terms_.try_emplace(s, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (std::abs(it->second) <= tol) terms_.erase(it);
+  }
+}
+
+void RefPauliSum::add(const RefPauliSum& other) {
+  for (const auto& [s, c] : other.terms_) add(s, c);
+}
+
+RefPauliSum RefPauliSum::operator*(cplx s) const {
+  RefPauliSum r;
+  for (const auto& [str, c] : terms_) r.add(str, c * s);
+  return r;
+}
+
+RefPauliSum RefPauliSum::operator+(const RefPauliSum& o) const {
+  RefPauliSum r = *this;
+  r.add(o);
+  return r;
+}
+
+RefPauliSum RefPauliSum::operator*(const RefPauliSum& o) const {
+  RefPauliSum r;
+  for (const auto& [sa, ca] : terms_)
+    for (const auto& [sb, cb] : o.terms_) {
+      auto [phase, prod] = PauliString::multiply(sa, sb);
+      r.add(prod, ca * cb * phase);
+    }
+  return r;
+}
+
+Matrix RefPauliSum::to_matrix(std::size_t num_qubits) const {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  Matrix m(dim, dim);
+  for (const auto& [s, c] : terms_) {
+    assert(s.num_qubits() == num_qubits);
+    m += s.to_matrix() * c;
+  }
+  return m;
+}
+
+double RefPauliSum::one_norm() const {
+  double s = 0;
+  for (const auto& [str, c] : terms_) s += std::abs(c);
+  return s;
+}
+
+void RefPauliSum::prune(double tol) {
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    if (std::abs(it->second) <= tol)
+      it = terms_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::string RefPauliSum::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [s, c] : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    os << "(" << c.real();
+    if (c.imag() != 0.0) os << (c.imag() > 0 ? "+" : "") << c.imag() << "i";
+    os << ")*" << s.str();
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Single-qubit Pauli expansion op = sum_i coeff_i * P_i (legacy table).
+std::vector<std::pair<cplx, Scb>> scb_to_pauli1(Scb op) {
+  const cplx i(0.0, 1.0);
+  switch (op) {
+    case Scb::I: return {{1.0, Scb::I}};
+    case Scb::X: return {{1.0, Scb::X}};
+    case Scb::Y: return {{1.0, Scb::Y}};
+    case Scb::Z: return {{1.0, Scb::Z}};
+    case Scb::N: return {{0.5, Scb::I}, {-0.5, Scb::Z}};   // (I - Z)/2
+    case Scb::M: return {{0.5, Scb::I}, {0.5, Scb::Z}};    // (I + Z)/2
+    case Scb::Sm: return {{0.5, Scb::X}, {0.5 * i, Scb::Y}};   // (X + iY)/2
+    case Scb::Sp: return {{0.5, Scb::X}, {-0.5 * i, Scb::Y}};  // (X - iY)/2
+  }
+  throw std::logic_error("scb_to_pauli1");
+}
+
+void expand_bare(const ScbTerm& term, cplx scale, RefPauliSum& out) {
+  // Distribute the per-qubit expansions; recursion depth = num_qubits.
+  const std::size_t n = term.num_qubits();
+  std::vector<Scb> word(n, Scb::I);
+  auto rec = [&](auto&& self, std::size_t q, cplx acc) -> void {
+    if (q == n) {
+      out.add(PauliString(word), acc);
+      return;
+    }
+    for (const auto& [c, p] : scb_to_pauli1(term.op(q))) {
+      word[q] = p;
+      self(self, q + 1, acc * c);
+    }
+    word[q] = Scb::I;
+  };
+  rec(rec, 0, scale * term.coeff());
+}
+
+}  // namespace
+
+RefPauliSum ref_term_to_pauli(const ScbTerm& term) {
+  RefPauliSum sum;
+  expand_bare(term, 1.0, sum);
+  if (term.add_hc()) expand_bare(term.adjoint(), 1.0, sum);
+  sum.prune();
+  return sum;
+}
+
+RefPauliSum ref_terms_to_pauli(const std::vector<ScbTerm>& terms) {
+  RefPauliSum sum;
+  for (const ScbTerm& t : terms) sum.add(ref_term_to_pauli(t));
+  sum.prune();
+  return sum;
+}
+
+}  // namespace gecos

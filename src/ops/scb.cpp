@@ -93,42 +93,19 @@ std::array<cplx, 4> scb_entries(Scb op) {
   return {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
 }
 
-ScaledScb scb_mul(Scb a, Scb b) {
-  // Compute the product matrix and match it against coeff * basis element.
-  // All products are rank <= 1 in the non-identity part, so matching is exact.
-  const Matrix p = scb_matrix(a) * scb_matrix(b);
-  // Try each basis op: p == c * op requires the nonzero pattern to agree.
-  for (Scb cand : kAllScb) {
-    const Matrix& q = scb_matrix(cand);
-    cplx ratio = 0;
-    bool ok = true;
-    for (std::size_t i = 0; i < 2 && ok; ++i)
-      for (std::size_t j = 0; j < 2 && ok; ++j) {
-        const cplx pv = p(i, j), qv = q(i, j);
-        if (std::abs(qv) < 1e-14) {
-          if (std::abs(pv) > 1e-14) ok = false;
-        } else {
-          const cplx r = pv / qv;
-          if (ratio == cplx(0.0)) {
-            ratio = r;
-          } else if (std::abs(r - ratio) > 1e-13) {
-            ok = false;
-          }
-        }
-      }
-    if (ok && ratio != cplx(0.0)) return {ratio, cand};
-  }
-  if (p.norm_max() < 1e-14) return {cplx(0.0), Scb::I};
-  throw std::logic_error("scb_mul: product left the basis (cannot happen)");
-}
-
 namespace {
 
+// Matches p against coeff * basis element. The ratio is only accepted when it
+// is consistent over *every* entry of the candidate's support and the
+// candidate's zero pattern covers p; a separate `seen` flag distinguishes
+// "no entry inspected yet" from an observed zero ratio (p vanishing on part
+// of the support, e.g. diag(0, 1) against I, must reject the candidate).
 std::optional<ScaledScb> match_scaled(const Matrix& p) {
   if (p.norm_max() < 1e-14) return ScaledScb{cplx(0.0), Scb::I};
   for (Scb cand : kAllScb) {
     const Matrix& q = scb_matrix(cand);
     cplx ratio = 0;
+    bool seen = false;
     bool ok = true;
     for (std::size_t i = 0; i < 2 && ok; ++i)
       for (std::size_t j = 0; j < 2 && ok; ++j) {
@@ -137,19 +114,28 @@ std::optional<ScaledScb> match_scaled(const Matrix& p) {
           if (std::abs(pv) > 1e-14) ok = false;
         } else {
           const cplx r = pv / qv;
-          if (ratio == cplx(0.0)) {
+          if (!seen) {
             ratio = r;
+            seen = true;
           } else if (std::abs(r - ratio) > 1e-13) {
             ok = false;
           }
         }
       }
-    if (ok && ratio != cplx(0.0)) return ScaledScb{ratio, cand};
+    if (ok && seen && std::abs(ratio) > 1e-14) return ScaledScb{ratio, cand};
   }
   return std::nullopt;
 }
 
 }  // namespace
+
+ScaledScb scb_mul(Scb a, Scb b) {
+  // Compute the product matrix and match it against coeff * basis element.
+  // The Cayley table (paper Table IV) closes, so matching always succeeds.
+  const Matrix p = scb_matrix(a) * scb_matrix(b);
+  if (auto m = match_scaled(p)) return *m;
+  throw std::logic_error("scb_mul: product left the basis (cannot happen)");
+}
 
 std::optional<ScaledScb> scb_commutator(Scb a, Scb b) {
   const Matrix p = scb_matrix(a) * scb_matrix(b) - scb_matrix(b) * scb_matrix(a);

@@ -1,5 +1,6 @@
 #include "ops/term.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <sstream>
@@ -146,6 +147,57 @@ std::string ScbTerm::str() const {
   return os.str();
 }
 
+TermKernel::TermKernel(const ScbTerm& term) : base(term.coeff()) {
+  const cplx i(0.0, 1.0);
+  for (std::size_t q = 0; q < term.num_qubits(); ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    switch (term.op(q)) {
+      case Scb::I: break;
+      case Scb::X: flip |= bit; break;
+      case Scb::Y:  // <y|Y|x> = i * (-1)^{x_q}
+        flip |= bit;
+        sign_mask |= bit;
+        base *= i;
+        break;
+      case Scb::Z: sign_mask |= bit; break;
+      case Scb::N: select_mask |= bit; select_val |= bit; break;
+      case Scb::M: select_mask |= bit; break;
+      case Scb::Sm:  // |0><1|: input bit must be 1
+        flip |= bit;
+        select_mask |= bit;
+        select_val |= bit;
+        break;
+      case Scb::Sp:  // |1><0|: input bit must be 0
+        flip |= bit;
+        select_mask |= bit;
+        break;
+    }
+  }
+}
+
+void TermKernel::apply(std::span<const cplx> x, std::span<cplx> y) const {
+  assert(x.size() == y.size());
+  assert(std::has_single_bit(x.size()));
+  // Walk only the selected states: s = sub | select_val with sub ranging over
+  // subsets of the unconstrained bits (the standard (sub - free) & free trick
+  // enumerates them in ascending order).
+  const std::uint64_t free_mask = (x.size() - 1) & ~select_mask;
+  if ((select_val & ~(x.size() - 1)) != 0) return;  // selection out of range
+  std::uint64_t sub = 0;
+  while (true) {
+    const std::uint64_t s = sub | select_val;
+    const cplx amp = (std::popcount(sign_mask & s) & 1) ? -base : base;
+    y[s ^ flip] += amp * x[s];
+    if (sub == free_mask) break;
+    sub = (sub - free_mask) & free_mask;
+  }
+}
+
+void ScbTerm::apply(std::span<const cplx> x, std::span<cplx> y) const {
+  TermKernel(*this).apply(x, y);
+  if (add_hc_) TermKernel(adjoint()).apply(x, y);
+}
+
 Matrix terms_matrix(const std::vector<ScbTerm>& terms, std::size_t num_qubits) {
   const std::size_t dim = std::size_t{1} << num_qubits;
   Matrix m(dim, dim);
@@ -159,21 +211,7 @@ Matrix terms_matrix(const std::vector<ScbTerm>& terms, std::size_t num_qubits) {
 void apply_terms(const std::vector<ScbTerm>& terms, std::span<const cplx> x,
                  std::span<cplx> y) {
   assert(x.size() == y.size());
-  const std::size_t dim = x.size();
-  for (const ScbTerm& t : terms) {
-    const std::uint64_t flip = t.flip_mask();
-    for (std::uint64_t s = 0; s < dim; ++s) {
-      const cplx amp = t.bare_amplitude(s);
-      if (amp != cplx(0.0)) y[s ^ flip] += amp * x[s];
-    }
-    if (t.add_hc()) {
-      // <y|A†|x> = conj(<x|A|y>) with y = x ^ flip.
-      for (std::uint64_t s = 0; s < dim; ++s) {
-        const cplx amp = std::conj(t.bare_amplitude(s ^ flip));
-        if (amp != cplx(0.0)) y[s ^ flip] += amp * x[s];
-      }
-    }
-  }
+  for (const ScbTerm& t : terms) t.apply(x, y);
 }
 
 double terms_one_norm_bound(const std::vector<ScbTerm>& terms) {

@@ -73,8 +73,13 @@ class ScbTerm {
 
   /// Amplitude <x ^ flip_mask| A |x> of the bare product on basis state |x>
   /// (product of per-qubit matrix entries, including coeff). Zero when the
-  /// projectors/transitions do not match x.
+  /// projectors/transitions do not match x. Per-qubit loop; TermKernel is the
+  /// fast mask-based equivalent.
   cplx bare_amplitude(std::uint64_t x) const;
+
+  /// y += H x matrix-free for this term's Hermitian operator (bare product
+  /// plus its h.c. when add_hc), via TermKernel. x.size() must be 2^n.
+  void apply(std::span<const cplx> x, std::span<cplx> y) const;
 
   std::string str() const;
 
@@ -82,6 +87,28 @@ class ScbTerm {
   cplx coeff_ = 1.0;
   std::vector<Scb> ops_;
   bool add_hc_ = false;
+};
+
+/// Precompiled statevector kernel of one *bare* SCB product.
+///
+/// Every SCB factor either flips its qubit or not and either selects a basis
+/// value or not, so <y| A |x> collapses to four masks and one complex base:
+/// the amplitude is base * (-1)^{pc(sign_mask & x)} on states with
+/// (x & select_mask) == select_val and target y = x ^ flip, zero elsewhere.
+/// apply() walks only the 2^(n-k) selected states (k = #projector/transition
+/// factors) instead of testing all 2^n per-qubit products like the legacy
+/// bare_amplitude loop.
+struct TermKernel {
+  std::uint64_t flip = 0;         // X/Y/s/s+ positions (computational flips)
+  std::uint64_t select_mask = 0;  // n/m/s/s+ positions (constrained inputs)
+  std::uint64_t select_val = 0;   // required input bits under select_mask
+  std::uint64_t sign_mask = 0;    // Y/Z positions ((-1)^{x_q} factors)
+  cplx base;                      // coeff * i^{#Y}
+
+  explicit TermKernel(const ScbTerm& term);
+
+  /// y += A x for the bare product only (no h.c.).
+  void apply(std::span<const cplx> x, std::span<cplx> y) const;
 };
 
 /// Hermitian matrix of a sum of terms (for verification).

@@ -1,0 +1,134 @@
+// SCB -> Pauli conversion: the iterative packed mask expansion must match
+// the retained recursive map-based reference term-for-term, produce exactly
+// pauli_expansion_count strings for bare products, and reproduce the dense
+// Hamiltonian on small systems.
+#include "ops/conversion.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "ops/pauli_ref.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+namespace {
+
+ScbTerm random_term(std::size_t n, std::mt19937& rng, bool add_hc) {
+  std::uniform_int_distribution<int> d(0, 7);
+  std::uniform_real_distribution<double> c(-1.0, 1.0);
+  std::vector<Scb> ops(n);
+  for (auto& o : ops) o = kAllScb[static_cast<std::size_t>(d(rng))];
+  return ScbTerm(cplx(c(rng), c(rng)), std::move(ops), add_hc);
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937 rng(42);
+
+  // Bare products: expansion count is exactly 2^k and every emitted
+  // coefficient matches the legacy recursion bitwise (both paths only ever
+  // scale by powers of two and exact units).
+  for (int it = 0; it < 200; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 12);
+    const ScbTerm t = random_term(n, rng, false);
+    const PauliSum packed = term_to_pauli(t);
+    const RefPauliSum ref = ref_term_to_pauli(t);
+    CHECK_EQ(packed.size(), pauli_expansion_count(t));
+    CHECK_EQ(packed.size(), ref.size());
+    const auto sorted = packed.sorted_terms();
+    std::size_t i = 0;
+    for (const auto& [rs, rc] : ref.terms()) {
+      CHECK(i < sorted.size() && sorted[i].first == rs);
+      if (i < sorted.size()) CHECK(sorted[i].second == rc);
+      ++i;
+    }
+  }
+
+  // With h.c.: agreement with the reference (counts can shrink through
+  // cancellation, so compare against the reference rather than 2^k).
+  for (int it = 0; it < 100; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 10);
+    const ScbTerm t = random_term(n, rng, true);
+    const PauliSum packed = term_to_pauli(t);
+    const RefPauliSum ref = ref_term_to_pauli(t);
+    CHECK_EQ(packed.size(), ref.size());
+    for (const auto& [rs, rc] : ref.terms())
+      CHECK_NEAR(packed.coeff_of(rs) - rc, 0.0, 1e-14);
+  }
+
+  // Dense verification on small systems, including the h.c. part.
+  for (int it = 0; it < 30; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 5);
+    const ScbTerm t = random_term(n, rng, it % 2 == 0);
+    const Matrix expect = t.hamiltonian_matrix();
+    CHECK_NEAR(term_to_pauli(t).to_matrix(n).max_abs_diff(expect), 0.0, 1e-12);
+  }
+
+  // Multi-term expansion with cross-term cancellation: n + m = I means
+  // terms_to_pauli({n, m}) collapses to the identity string.
+  {
+    const ScbTerm tn(1.0, {Scb::N, Scb::I}, false);
+    const ScbTerm tm(1.0, {Scb::M, Scb::I}, false);
+    const PauliSum s = terms_to_pauli({tn, tm});
+    CHECK_EQ(s.size(), std::size_t{1});
+    CHECK_NEAR(s.coeff_of(PauliString::parse("II")) - cplx(1.0), 0.0, 1e-15);
+  }
+  for (int it = 0; it < 30; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 8);
+    std::vector<ScbTerm> terms;
+    for (int j = 0; j < 4; ++j) terms.push_back(random_term(n, rng, j % 2 == 0));
+    const PauliSum packed = terms_to_pauli(terms);
+    const RefPauliSum ref = ref_terms_to_pauli(terms);
+    CHECK_EQ(packed.size(), ref.size());
+    for (const auto& [rs, rc] : ref.terms())
+      CHECK_NEAR(packed.coeff_of(rs) - rc, 0.0, 1e-13);
+  }
+
+  // An unexpandable term (2^63 strings) is a clean error, not shift UB.
+  {
+    bool threw = false;
+    try {
+      (void)term_to_pauli(ScbTerm(1.0, std::vector<Scb>(63, Scb::N), false));
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  // The sigma^dagger sigma ladder: s+ on one qubit expands to (X - iY)/2.
+  {
+    const PauliSum s = term_to_pauli(ScbTerm(1.0, {Scb::Sp}, false));
+    CHECK_EQ(s.size(), std::size_t{2});
+    CHECK_NEAR(s.coeff_of(PauliString::parse("X")) - cplx(0.5), 0.0, 1e-15);
+    CHECK_NEAR(s.coeff_of(PauliString::parse("Y")) - cplx(0.0, -0.5), 0.0,
+               1e-15);
+  }
+
+  // gather_hermitian pairs conjugate products and preserves the matrix.
+  for (int it = 0; it < 20; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 4);
+    std::vector<ScbTerm> bare;
+    for (int j = 0; j < 3; ++j) {
+      const ScbTerm t = random_term(n, rng, false);
+      bare.push_back(t);
+      bare.push_back(t.adjoint());
+    }
+    const std::vector<ScbTerm> gathered = gather_hermitian(bare);
+    Matrix expect(std::size_t{1} << n, std::size_t{1} << n);
+    for (const ScbTerm& t : bare) expect += t.bare_matrix();
+    CHECK_NEAR(terms_matrix(gathered, n).max_abs_diff(expect), 0.0, 1e-12);
+  }
+
+  // pauli_string_as_term embeds a string as a Hermitian bare product.
+  {
+    const PauliString p = PauliString::parse("XZY");
+    const ScbTerm t = pauli_string_as_term(p, 0.75);
+    CHECK(t.is_valid_hamiltonian());
+    CHECK_NEAR(t.hamiltonian_matrix().max_abs_diff(p.to_matrix() * cplx(0.75)),
+               0.0, 1e-14);
+  }
+
+  return gecos::test::finish("test_conversion");
+}

@@ -1,0 +1,107 @@
+// Packed symplectic layer vs the legacy per-qubit PauliString algebra:
+// 10^4 randomized multiply cases (phase AND string) on up to 96 qubits,
+// exercising the multi-word (> 64 qubit) path, plus roundtrips, commutation
+// agreement, ordering and hashing.
+#include "ops/packed.hpp"
+
+#include <random>
+
+#include "ops/pauli.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+namespace {
+
+PauliString random_string(std::size_t n, std::mt19937& rng) {
+  static const std::array<Scb, 4> t = {Scb::I, Scb::X, Scb::Y, Scb::Z};
+  std::uniform_int_distribution<int> d(0, 3);
+  std::vector<Scb> ops(n);
+  for (auto& o : ops) o = t[static_cast<std::size_t>(d(rng))];
+  return PauliString(std::move(ops));
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937 rng(20260730);
+  std::uniform_int_distribution<std::size_t> nd(1, 96);
+
+  // Roundtrip and structure queries.
+  for (int it = 0; it < 200; ++it) {
+    const std::size_t n = nd(rng);
+    const PauliString s = random_string(n, rng);
+    const PackedPauli p = PackedPauli::from_string(s);
+    CHECK_EQ(p.num_qubits(), n);
+    CHECK_EQ(p.words(), (n + 63) / 64);
+    CHECK(p.to_pauli_string() == s);
+    CHECK_EQ(p.str(), s.str());
+    CHECK_EQ(p.weight(), s.weight());
+    CHECK_EQ(p.is_identity(), s.is_identity());
+    for (std::size_t q = 0; q < n; ++q) CHECK(p.op(q) == s.op(q));
+    CHECK(PackedPauli::parse(s.str()) == p);
+    CHECK_EQ(PackedPauli::from_string(s).hash(), p.hash());
+  }
+
+  // set_op covers every word position.
+  {
+    PackedPauli p(96);
+    CHECK(p.is_identity());
+    p.set_op(0, Scb::X);
+    p.set_op(63, Scb::Y);
+    p.set_op(64, Scb::Z);
+    p.set_op(95, Scb::Y);
+    CHECK_EQ(p.weight(), 4);
+    CHECK(p.op(63) == Scb::Y);
+    CHECK(p.op(64) == Scb::Z);
+    p.set_op(63, Scb::I);
+    CHECK_EQ(p.weight(), 3);
+  }
+
+  // The acceptance bar: 10^4 randomized multiply cases up to 96 qubits,
+  // phase and string agreement with the legacy per-qubit loop. All phases
+  // are exact units, so the comparison is exact.
+  int multiword_cases = 0;
+  for (int it = 0; it < 10000; ++it) {
+    const std::size_t n = nd(rng);
+    if (n > 64) ++multiword_cases;
+    const PauliString a = random_string(n, rng);
+    const PauliString b = random_string(n, rng);
+    const auto [ref_phase, ref_prod] = PauliString::multiply(a, b);
+    const auto [phase, prod] = PackedPauli::multiply(
+        PackedPauli::from_string(a), PackedPauli::from_string(b));
+    CHECK(prod.to_pauli_string() == ref_prod);
+    CHECK(phase == ref_phase);
+    CHECK_EQ(PackedPauli::from_string(a).commutes_with(
+                 PackedPauli::from_string(b)),
+             a.commutes_with(b));
+  }
+  CHECK(multiword_cases > 1000);  // the >64-qubit path really ran
+
+  // Algebraic identities on the packed layer alone: P*P = I, and the phase
+  // flips sign under argument exchange iff the strings anticommute.
+  for (int it = 0; it < 500; ++it) {
+    const std::size_t n = nd(rng);
+    const PackedPauli a = PackedPauli::from_string(random_string(n, rng));
+    const PackedPauli b = PackedPauli::from_string(random_string(n, rng));
+    const auto [self_phase, self_prod] = PackedPauli::multiply(a, a);
+    CHECK(self_prod.is_identity());
+    CHECK(self_phase == cplx(1.0));
+    const auto [pab, sab] = PackedPauli::multiply(a, b);
+    const auto [pba, sba] = PackedPauli::multiply(b, a);
+    CHECK(sab == sba);
+    CHECK(pab == (a.commutes_with(b) ? pba : -pba));
+  }
+
+  // Ordering agrees with the legacy map comparator.
+  for (int it = 0; it < 500; ++it) {
+    const std::size_t n = nd(rng);
+    const PauliString a = random_string(n, rng);
+    const PauliString b = random_string(n, rng);
+    CHECK_EQ(PackedPauli::less_qubitwise(PackedPauli::from_string(a),
+                                         PackedPauli::from_string(b)),
+             a < b);
+  }
+
+  return gecos::test::finish("test_packed");
+}

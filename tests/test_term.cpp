@@ -1,0 +1,96 @@
+// ScbTerm structure queries and the TermKernel matrix-free statevector
+// kernels against dense ground truth.
+#include "ops/term.hpp"
+
+#include <bit>
+#include <random>
+
+#include "test_util.hpp"
+
+using namespace gecos;
+
+namespace {
+
+ScbTerm random_term(std::size_t n, std::mt19937& rng, bool add_hc) {
+  std::uniform_real_distribution<double> c(-1.0, 1.0);
+  std::vector<Scb> ops(n);
+  for (auto& o : ops) o = kAllScb[rng() % 8];
+  return ScbTerm(cplx(c(rng), c(rng)), std::move(ops), add_hc);
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937 rng(99);
+
+  // Parse / str roundtrip and the paper's Fig. 2 example shape.
+  {
+    const ScbTerm t = ScbTerm::parse("n m X s+ s");
+    CHECK_EQ(t.num_qubits(), std::size_t{5});
+    CHECK(t.op(0) == Scb::N && t.op(3) == Scb::Sp && t.op(4) == Scb::Sm);
+    CHECK(t.add_hc());
+    CHECK_EQ(t.control_qubits(), (std::vector<int>{0, 1}));
+    CHECK_EQ(t.transition_qubits(), (std::vector<int>{3, 4}));
+    CHECK_EQ(t.pauli_qubits(), (std::vector<int>{2}));
+    CHECK_EQ(t.flip_mask(), std::uint64_t{0b11100});
+    CHECK_EQ(t.transition_mask(), std::uint64_t{0b11000});
+    CHECK_EQ(t.transition_a_bits(), std::uint64_t{0b01000});
+    const auto [cmask, cval] = t.control_key();
+    CHECK_EQ(cmask, std::uint64_t{0b00011});
+    CHECK_EQ(cval, std::uint64_t{0b00001});
+  }
+
+  // TermKernel amplitudes equal bare_amplitude on every basis state.
+  for (int it = 0; it < 100; ++it) {
+    const std::size_t n = 1 + it % 8;
+    const std::size_t dim = std::size_t{1} << n;
+    const ScbTerm t = random_term(n, rng, false);
+    const TermKernel k(t);
+    for (std::uint64_t s = 0; s < dim; ++s) {
+      cplx kernel_amp(0.0);
+      if ((s & k.select_mask) == k.select_val)
+        kernel_amp = (std::popcount(k.sign_mask & s) & 1) ? -k.base : k.base;
+      CHECK_NEAR(kernel_amp - t.bare_amplitude(s), 0.0, 1e-14);
+    }
+    CHECK_EQ(k.flip, t.flip_mask());
+  }
+
+  // apply (bare and with h.c.) against the dense Hamiltonian.
+  for (int it = 0; it < 60; ++it) {
+    const std::size_t n = 1 + it % 7;
+    const std::size_t dim = std::size_t{1} << n;
+    const ScbTerm t = random_term(n, rng, it % 2 == 0);
+    std::vector<cplx> x = random_state(dim, rng);
+    std::vector<cplx> y(dim, cplx(0.0));
+    t.apply(x, y);
+    const std::vector<cplx> expect = t.hamiltonian_matrix().apply(x);
+    CHECK_NEAR(vec_max_abs_diff(y, expect), 0.0, 1e-12);
+  }
+
+  // apply_terms accumulates a whole Hamiltonian matrix-free.
+  for (int it = 0; it < 20; ++it) {
+    const std::size_t n = 2 + it % 5;
+    const std::size_t dim = std::size_t{1} << n;
+    std::vector<ScbTerm> terms;
+    for (int j = 0; j < 5; ++j) terms.push_back(random_term(n, rng, j % 2 == 0));
+    std::vector<cplx> x = random_state(dim, rng);
+    std::vector<cplx> y(dim, cplx(0.0));
+    apply_terms(terms, x, y);
+    const std::vector<cplx> expect = terms_matrix(terms, n).apply(x);
+    CHECK_NEAR(vec_max_abs_diff(y, expect), 0.0, 1e-12);
+  }
+
+  // adjoint / hermiticity bookkeeping.
+  for (int it = 0; it < 50; ++it) {
+    const std::size_t n = 1 + it % 6;
+    const ScbTerm t = random_term(n, rng, false);
+    CHECK_NEAR(t.adjoint().bare_matrix().max_abs_diff(t.bare_matrix().dagger()),
+               0.0, 1e-13);
+    const ScbTerm h = random_term(n, rng, true);
+    CHECK(h.hamiltonian_matrix().is_hermitian(1e-12));
+    CHECK_NEAR(terms_one_norm_bound({h}) - 2.0 * std::abs(h.coeff()), 0.0,
+               1e-14);
+  }
+
+  return gecos::test::finish("test_term");
+}

@@ -1,0 +1,51 @@
+// Minimal assertion harness for the ctest suite: header-only, no framework
+// dependency (the container deliberately ships no gtest). Each test file is
+// one executable; a nonzero failure count is the process exit code, which is
+// all ctest needs.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace gecos::test {
+
+inline int failures = 0;
+inline int checks = 0;
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    ++gecos::test::checks;                                                \
+    if (!(cond)) {                                                        \
+      ++gecos::test::failures;                                            \
+      std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);         \
+    }                                                                     \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                             \
+  do {                                                                    \
+    ++gecos::test::checks;                                                \
+    const double check_near_d_ = std::abs((a) - (b));                     \
+    if (!(check_near_d_ <= (tol))) {                                      \
+      ++gecos::test::failures;                                            \
+      std::printf("FAIL %s:%d: |%s - %s| = %g > %g\n", __FILE__,          \
+                  __LINE__, #a, #b, check_near_d_, (double)(tol));        \
+    }                                                                     \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                    \
+  do {                                                                    \
+    ++gecos::test::checks;                                                \
+    if (!((a) == (b))) {                                                  \
+      ++gecos::test::failures;                                            \
+      std::printf("FAIL %s:%d: %s != %s\n", __FILE__, __LINE__, #a, #b);  \
+    }                                                                     \
+  } while (0)
+
+/// Prints the tally; return this from main().
+inline int finish(const char* name) {
+  std::printf("%s: %d checks, %d failures\n", name, checks, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace gecos::test
