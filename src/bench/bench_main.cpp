@@ -1,12 +1,16 @@
-// Benchmark runner for the packed symplectic Pauli engine.
+// Benchmark runner for the packed symplectic Pauli engine and the fermionic
+// Jordan-Wigner workloads.
 //
 // Establishes the repo's perf trajectory (BENCH_pauli.json): term -> Pauli
 // expansion, PauliSum products, matrix-free statevector application, dense
-// matmul and expm. The packed paths are measured against the retained legacy
-// implementations (ops/pauli_ref.hpp and a per-qubit apply loop) so
-// regressions and speedup claims are visible in one artifact.
+// matmul and expm, plus the fermion_* entries measuring the paper's central
+// claim head-to-head — SCB term count and build time of second-quantized
+// Hamiltonians versus their expanded Pauli representation. The packed paths
+// are measured against the retained legacy implementations
+// (ops/pauli_ref.hpp and a per-qubit apply loop) so regressions and speedup
+// claims are visible in one artifact.
 //
-// Usage: bench_main [--quick] [--out PATH]   (default PATH: BENCH_pauli.json)
+// Usage: bench_main [--quick] [--out PATH] [--help]   (see print_help)
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -20,11 +24,14 @@
 #include <string>
 #include <vector>
 
+#include "fermion/hubbard.hpp"
+#include "fermion/jordan_wigner.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/matrix.hpp"
 #include "ops/conversion.hpp"
 #include "ops/pauli.hpp"
 #include "ops/pauli_ref.hpp"
+#include "ops/scb_sum.hpp"
 #include "ops/term.hpp"
 
 using namespace gecos;
@@ -120,6 +127,31 @@ void legacy_apply_terms(const std::vector<ScbTerm>& terms,
   }
 }
 
+void print_help(const char* prog) {
+  std::printf(
+      "usage: %s [--quick] [--out PATH] [--help]\n"
+      "\n"
+      "Runs the GECOS benchmark suite and writes a JSON report.\n"
+      "\n"
+      "  --quick      smaller workloads and shorter timing windows (0.05 s\n"
+      "               instead of 0.25 s per sample); CI uses this as a smoke\n"
+      "               test, so absolute numbers are noisier\n"
+      "  --out PATH   output path for the JSON report (default:\n"
+      "               BENCH_pauli.json)\n"
+      "  --help       print this message and exit\n"
+      "\n"
+      "Output schema \"gecos-bench-v1\":\n"
+      "  {\"schema\": \"gecos-bench-v1\", \"quick\": bool,\n"
+      "   \"benchmarks\": [{\"name\": str, <numeric fields>}]}\n"
+      "Fields ending in seconds_per_op are seconds (median of 3 timed runs);\n"
+      "*_per_sec are derived rates; speedup_vs_ref compares against the\n"
+      "retained legacy implementation in the same binary and run. fermion_*\n"
+      "entries report scb_terms vs pauli_strings and the build time of each\n"
+      "representation. See DESIGN.md \"Benchmark methodology\" and README.md\n"
+      "\"Reading BENCH_pauli.json\".\n",
+      prog);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,10 +159,21 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_pauli.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+    else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --out requires a PATH argument\n", argv[0]);
+        return 2;
+      }
       out_path = argv[++i];
-    else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+             std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s'\nusage: %s [--quick] [--out "
+                   "PATH] [--help]\n",
+                   argv[0], argv[i], argv[0]);
       return 2;
     }
   }
@@ -287,6 +330,104 @@ int main(int argc, char** argv) {
     results.push_back({"dense_expm",
                        {{"size", static_cast<double>(ne)},
                         {"seconds_per_op", expm_s}}});
+  }
+
+  // -- fermionic Jordan-Wigner workloads (paper Sec. II-B1 vs III) -----------
+  // Each entry builds the same second-quantized Hamiltonian both ways: the
+  // direct SCB composition (one term per fermionic word, via jw_sum) and the
+  // expanded Pauli representation (2^k strings per term, via to_pauli), and
+  // reports term counts plus build time per representation.
+  {
+    const auto bench_fermion = [&](const std::string& name,
+                                   const FermionSum& h, std::size_t modes) {
+      const double scb_s = time_per_op(
+          [&] { sink += jw_sum(h, modes).size(); }, min_s);
+      const ScbSum scb = jw_sum(h, modes);
+      // The "usual strategy" maps the fermionic sum all the way to Pauli
+      // strings, so its build time includes the JW step too.
+      const double pauli_s = time_per_op(
+          [&] { sink += jw_sum(h, modes).to_pauli().size(); }, min_s);
+      const PauliSum pauli = scb.to_pauli();
+      std::printf("%-20s n=%zu scb_terms=%zu pauli_strings=%zu scb=%.3fms"
+                  " pauli=%.3fms build_ratio=%.2fx\n",
+                  name.c_str(), modes, scb.size(), pauli.size(), scb_s * 1e3,
+                  pauli_s * 1e3, pauli_s / scb_s);
+      results.push_back(
+          {name,
+           {{"num_qubits", static_cast<double>(modes)},
+            {"fermion_terms", static_cast<double>(h.size())},
+            {"scb_terms", static_cast<double>(scb.size())},
+            {"pauli_strings", static_cast<double>(pauli.size())},
+            {"scb_build_seconds", scb_s},
+            {"pauli_build_seconds", pauli_s},
+            {"pauli_vs_scb_build_ratio", pauli_s / scb_s}}});
+    };
+
+    HubbardParams h1;  // 1D spinless chain, >= 16 sites
+    h1.lx = quick ? 16 : 32;
+    h1.t = 1.0;
+    h1.u = 2.0;
+    h1.mu = 0.5;
+    h1.periodic_x = true;
+    bench_fermion("fermion_hubbard_1d", hubbard_hamiltonian(h1),
+                  hubbard_num_modes(h1));
+
+    HubbardParams h2;  // 2D spinful lattice
+    h2.lx = 4;
+    h2.ly = quick ? 2 : 4;
+    h2.t = 1.0;
+    h2.u = 4.0;
+    h2.mu = 0.5;
+    h2.periodic_x = true;
+    h2.periodic_y = !quick;
+    h2.spinful = true;
+    bench_fermion("fermion_hubbard_2d_spinful", hubbard_hamiltonian(h2),
+                  hubbard_num_modes(h2));
+
+    const std::size_t mol_modes = quick ? 16 : 20;
+    const FermionSum mol =
+        random_two_body(mol_modes, 16, quick ? 12 : 24, 20260730);
+    bench_fermion("fermion_molecular", mol, mol_modes);
+
+    // A product of k number operators: ONE SCB term versus 2^k Pauli
+    // strings — the Section II-B1 blow-up measured head-to-head.
+    const std::size_t k = quick ? 10 : 16;
+    const std::size_t dn = k + 4;
+    FermionSum density;
+    {
+      std::vector<LadderOp> word;
+      for (std::uint32_t m = 0; m < k; ++m) {
+        word.push_back({m, true});
+        word.push_back({m, false});
+      }
+      density.add(FermionProduct(1.0, word));
+    }
+    bench_fermion("fermion_density_string", density, dn);
+
+    // Matrix-free cross-validation at n = mol_modes: both representations of
+    // the molecular Hamiltonian applied to the same random state.
+    {
+      const ScbSum scb = jw_sum(mol, mol_modes);
+      const PauliSum pauli = scb.to_pauli();
+      const std::size_t dim = std::size_t{1} << mol_modes;
+      const std::vector<cplx> x = random_state(dim, rng);
+      std::vector<cplx> ys(dim, cplx(0.0)), yp(dim, cplx(0.0));
+      scb.apply(x, ys);
+      pauli.apply(x, yp);
+      const double diff = vec_max_abs_diff(ys, yp);
+      if (diff > 1e-10) {
+        std::fprintf(stderr,
+                     "error: fermion_molecular SCB vs Pauli apply mismatch "
+                     "(max diff %g)\n",
+                     diff);
+        return 1;
+      }
+      std::printf("fermion_apply_xcheck n=%zu scb_vs_pauli_max_diff=%.2e\n",
+                  mol_modes, diff);
+      results.push_back({"fermion_apply_xcheck",
+                         {{"num_qubits", static_cast<double>(mol_modes)},
+                          {"scb_vs_pauli_max_diff", diff}}});
+    }
   }
 
   if (!write_json(out_path, quick, results)) {

@@ -1,0 +1,188 @@
+#include "fermion/fermion_op.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gecos {
+
+FermionProduct FermionProduct::one_body(cplx coeff, std::uint32_t p,
+                                        std::uint32_t q) {
+  return FermionProduct(coeff, {{p, true}, {q, false}});
+}
+
+FermionProduct FermionProduct::two_body(cplx coeff, std::uint32_t p,
+                                        std::uint32_t q, std::uint32_t r,
+                                        std::uint32_t s) {
+  return FermionProduct(coeff, {{p, true}, {q, true}, {r, false}, {s, false}});
+}
+
+std::size_t FermionProduct::min_modes() const {
+  std::size_t n = 0;
+  for (const LadderOp& f : factors_)
+    n = std::max(n, static_cast<std::size_t>(f.mode) + 1);
+  return n;
+}
+
+FermionProduct FermionProduct::adjoint() const {
+  std::vector<LadderOp> adj(factors_.rbegin(), factors_.rend());
+  for (LadderOp& f : adj) f.dagger = !f.dagger;
+  return FermionProduct(std::conj(coeff_), std::move(adj));
+}
+
+std::string FermionProduct::str() const {
+  std::ostringstream os;
+  os << "(" << coeff_.real();
+  if (coeff_.imag() != 0.0)
+    os << (coeff_.imag() > 0 ? "+" : "") << coeff_.imag() << "i";
+  os << ")";
+  for (const LadderOp& f : factors_)
+    os << " a" << (f.dagger ? "+" : "") << "_" << f.mode;
+  return os.str();
+}
+
+void FermionSum::add(const FermionProduct& p, double tol) {
+  auto it = terms_.find(p.factors());
+  if (it == terms_.end()) {
+    if (std::abs(p.coeff()) > tol) terms_.emplace(p.factors(), p.coeff());
+    return;
+  }
+  it->second += p.coeff();
+  if (std::abs(it->second) <= tol) terms_.erase(it);
+}
+
+void FermionSum::add(const FermionSum& o, double tol) {
+  for (const auto& [word, c] : o.terms_) add(FermionProduct(c, word), tol);
+}
+
+std::size_t FermionSum::min_modes() const {
+  std::size_t n = 0;
+  for (const auto& [word, c] : terms_)
+    for (const LadderOp& f : word)
+      n = std::max(n, static_cast<std::size_t>(f.mode) + 1);
+  return n;
+}
+
+cplx FermionSum::coeff_of(const std::vector<LadderOp>& word) const {
+  auto it = terms_.find(word);
+  return it == terms_.end() ? cplx(0.0) : it->second;
+}
+
+FermionSum FermionSum::operator+(const FermionSum& o) const {
+  FermionSum r = *this;
+  r.add(o);
+  return r;
+}
+
+FermionSum FermionSum::operator-(const FermionSum& o) const {
+  FermionSum r = *this;
+  for (const auto& [word, c] : o.terms_) r.add(FermionProduct(-c, word));
+  return r;
+}
+
+FermionSum FermionSum::operator*(cplx s) const {
+  FermionSum r;
+  if (s == cplx(0.0)) return r;
+  r.terms_ = terms_;
+  for (auto& [word, c] : r.terms_) c *= s;
+  return r;
+}
+
+FermionSum FermionSum::operator*(const FermionSum& o) const {
+  FermionSum r;
+  for (const auto& [aw, ac] : terms_)
+    for (const auto& [bw, bc] : o.terms_) {
+      std::vector<LadderOp> word = aw;
+      word.insert(word.end(), bw.begin(), bw.end());
+      r.add(FermionProduct(ac * bc, std::move(word)));
+    }
+  return r;
+}
+
+FermionSum FermionSum::adjoint() const {
+  FermionSum r;
+  for (const auto& [word, c] : terms_)
+    r.add(FermionProduct(c, word).adjoint());
+  return r;
+}
+
+bool FermionSum::is_hermitian(double tol) const {
+  const FermionSum diff = normal_order(*this - adjoint(), tol);
+  for (const auto& [word, c] : diff.terms())
+    if (std::abs(c) > tol) return false;
+  return true;
+}
+
+std::string FermionSum::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [word, c] : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    os << FermionProduct(c, word).str();
+  }
+  if (first) os << "0";
+  return os.str();
+}
+
+FermionSum normal_order(const FermionProduct& p, double tol) {
+  // Worklist rewriting: pop a product, apply the first CAR rule that fires,
+  // push the rewritten product(s); products with no applicable rule are in
+  // canonical order and land in the output sum.
+  FermionSum out;
+  std::vector<FermionProduct> work{p};
+  while (!work.empty()) {
+    FermionProduct cur = std::move(work.back());
+    work.pop_back();
+    if (std::abs(cur.coeff()) <= tol) continue;
+    const std::vector<LadderOp>& f = cur.factors();
+    bool rewrote = false;
+    for (std::size_t i = 0; i + 1 < f.size(); ++i) {
+      const LadderOp a = f[i], b = f[i + 1];
+      if (!a.dagger && b.dagger) {
+        // a_p a_q^dagger = delta_pq - a_q^dagger a_p.
+        std::vector<LadderOp> swapped = f;
+        std::swap(swapped[i], swapped[i + 1]);
+        work.emplace_back(-cur.coeff(), std::move(swapped));
+        if (a.mode == b.mode) {
+          std::vector<LadderOp> contracted;
+          contracted.reserve(f.size() - 2);
+          contracted.insert(contracted.end(), f.begin(),
+                            f.begin() + static_cast<std::ptrdiff_t>(i));
+          contracted.insert(contracted.end(),
+                            f.begin() + static_cast<std::ptrdiff_t>(i) + 2,
+                            f.end());
+          work.emplace_back(cur.coeff(), std::move(contracted));
+        }
+        rewrote = true;
+        break;
+      }
+      if (a.dagger == b.dagger) {
+        if (a.mode == b.mode) {  // a_p a_p = 0, a_p^dagger a_p^dagger = 0
+          rewrote = true;
+          break;
+        }
+        // Same species out of order: anticommute (no contraction).
+        const bool out_of_order = a.dagger ? a.mode > b.mode : a.mode < b.mode;
+        if (out_of_order) {
+          std::vector<LadderOp> swapped = f;
+          std::swap(swapped[i], swapped[i + 1]);
+          work.emplace_back(-cur.coeff(), std::move(swapped));
+          rewrote = true;
+          break;
+        }
+      }
+    }
+    if (!rewrote) out.add(cur, tol);
+  }
+  return out;
+}
+
+FermionSum normal_order(const FermionSum& s, double tol) {
+  FermionSum out;
+  for (const auto& [word, c] : s.terms())
+    out.add(normal_order(FermionProduct(c, word), tol), tol);
+  return out;
+}
+
+}  // namespace gecos

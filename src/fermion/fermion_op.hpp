@@ -1,0 +1,126 @@
+// Second-quantized fermionic operators.
+//
+// The workload layer of GECOS: Hamiltonians are composed as sums of products
+// of ladder operators a_p / a_p^dagger over modes 0..n-1 obeying the
+// canonical anticommutation relations (CAR)
+//
+//   {a_p, a_q^dagger} = delta_pq,   {a_p, a_q} = {a_p^dagger, a_q^dagger} = 0.
+//
+// FermionProduct is one coefficient-weighted operator word; FermionSum is a
+// merged sum of words. normal_order() rewrites any sum into the canonical
+// form (creators ascending by mode, then annihilators descending) using the
+// CAR — the fermionic counterpart of the SCB Cayley collapse performed after
+// the Jordan-Wigner map (src/fermion/jordan_wigner.hpp, DESIGN.md
+// "Jordan-Wigner convention").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gecos {
+
+/// One ladder operator: a_mode (dagger == false) or a_mode^dagger.
+struct LadderOp {
+  std::uint32_t mode = 0;  ///< fermionic mode (site/spin-orbital) index
+  bool dagger = false;     ///< true = creation, false = annihilation
+
+  /// Ordering key for canonical word storage (mode, then dagger).
+  auto operator<=>(const LadderOp&) const = default;
+};
+
+/// coeff * l_1 l_2 ... l_k, factors applied as written (l_1 leftmost, i.e.
+/// applied last to a state). An empty factor list is the scalar coeff * 1.
+class FermionProduct {
+ public:
+  /// The scalar 1 (empty factor list, coefficient 1).
+  FermionProduct() = default;
+  /// coeff * factors, applied as written.
+  FermionProduct(cplx coeff, std::vector<LadderOp> factors)
+      : coeff_(coeff), factors_(std::move(factors)) {}
+
+  /// Convenience for the common one- and two-body patterns, e.g.
+  /// FermionProduct::one_body(c, p, q) = c * a_p^dagger a_q.
+  static FermionProduct one_body(cplx coeff, std::uint32_t p, std::uint32_t q);
+  /// c * a_p^dagger a_q^dagger a_r a_s.
+  static FermionProduct two_body(cplx coeff, std::uint32_t p, std::uint32_t q,
+                                 std::uint32_t r, std::uint32_t s);
+
+  /// Scalar coefficient and factor word, as constructed.
+  cplx coeff() const { return coeff_; }
+  const std::vector<LadderOp>& factors() const { return factors_; }
+  /// Number of ladder factors (0 for a scalar).
+  std::size_t degree() const { return factors_.size(); }
+  /// Smallest mode count containing every factor (max mode + 1; 0 if scalar).
+  std::size_t min_modes() const;
+
+  /// Reversed factor order, each factor daggered, coefficient conjugated.
+  FermionProduct adjoint() const;
+
+  /// Human-readable form, e.g. "(0.5) a+_1 a_0".
+  std::string str() const;
+
+ private:
+  cplx coeff_ = 1.0;
+  std::vector<LadderOp> factors_;
+};
+
+/// Sum of ladder-operator words with like-word merging. Deterministic
+/// iteration (std::map over words). Words are stored as given; call
+/// normal_order() to canonicalize so that equal operators always merge.
+class FermionSum {
+ public:
+  /// The empty (zero) sum.
+  FermionSum() = default;
+
+  /// Accumulates a product; merges coefficients of an identical factor word
+  /// and drops the word when the merged coefficient cancels below tol.
+  void add(const FermionProduct& p, double tol = 1e-14);
+  void add(const FermionSum& o, double tol = 1e-14);
+
+  /// Number of live words / whether the sum is zero.
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+  /// Smallest mode count containing every term.
+  std::size_t min_modes() const;
+
+  /// Deterministic word -> coefficient view.
+  const std::map<std::vector<LadderOp>, cplx>& terms() const { return terms_; }
+  /// Coefficient of a factor word (0 if absent).
+  cplx coeff_of(const std::vector<LadderOp>& word) const;
+
+  /// Termwise sum/difference and scalar scaling.
+  FermionSum operator+(const FermionSum& o) const;
+  FermionSum operator-(const FermionSum& o) const;
+  FermionSum operator*(cplx s) const;
+  /// Word concatenation, distributively: (c1 w1)(c2 w2) = c1 c2 (w1 w2).
+  FermionSum operator*(const FermionSum& o) const;
+
+  /// Termwise adjoint.
+  FermionSum adjoint() const;
+  /// True when normal_order(*this - adjoint()) has no surviving term.
+  bool is_hermitian(double tol = 1e-12) const;
+
+  /// Human-readable " + "-joined term list ("0" for the empty sum).
+  std::string str() const;
+
+ private:
+  std::map<std::vector<LadderOp>, cplx> terms_;
+};
+
+/// CAR rewriting of one product into canonical normal order: creators first,
+/// ascending by mode, then annihilators descending by mode. Every swap of an
+/// annihilator past a creator emits the contraction term delta_pq * (word
+/// with the pair removed); same-mode repeated creators/annihilators vanish
+/// (Pauli exclusion). Worst case the rewriting branches into O(2^min(c,a))
+/// contraction terms for a word with c creators and a annihilators — the
+/// products built here are few-body, so this stays tiny.
+FermionSum normal_order(const FermionProduct& p, double tol = 1e-14);
+/// normal_order over every term of a sum, with cross-term merging.
+FermionSum normal_order(const FermionSum& s, double tol = 1e-14);
+
+}  // namespace gecos

@@ -1,0 +1,120 @@
+#include "fermion/hubbard.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace gecos {
+
+namespace {
+
+/// Nearest-neighbor bonds (each once) as site-index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> bonds(const HubbardParams& p) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const auto site = [&](std::size_t x, std::size_t y) { return y * p.lx + x; };
+  for (std::size_t y = 0; y < p.ly; ++y)
+    for (std::size_t x = 0; x < p.lx; ++x) {
+      if (x + 1 < p.lx) out.emplace_back(site(x, y), site(x + 1, y));
+      // A wrap bond on a 2-site axis would duplicate the open bond.
+      else if (p.periodic_x && p.lx > 2) out.emplace_back(site(x, y), site(0, y));
+      if (y + 1 < p.ly) out.emplace_back(site(x, y), site(x, y + 1));
+      else if (p.periodic_y && p.ly > 2) out.emplace_back(site(x, y), site(x, 0));
+    }
+  return out;
+}
+
+/// Mode of (site, spin) — the single place the spin-fastest layout lives;
+/// hubbard_mode and hubbard_hamiltonian both go through it.
+std::uint32_t site_mode(const HubbardParams& p, std::size_t site, int spin) {
+  return static_cast<std::uint32_t>(p.spinful ? 2 * site + spin : site);
+}
+
+/// n_p n_q as a bare ladder word (n_p alone when p == q).
+FermionProduct density_density(double coeff, std::uint32_t pm,
+                               std::uint32_t qm) {
+  if (pm == qm) return FermionProduct(coeff, {{pm, true}, {pm, false}});
+  return FermionProduct(
+      coeff, {{pm, true}, {pm, false}, {qm, true}, {qm, false}});
+}
+
+}  // namespace
+
+std::size_t hubbard_num_sites(const HubbardParams& p) { return p.lx * p.ly; }
+
+std::size_t hubbard_num_modes(const HubbardParams& p) {
+  return hubbard_num_sites(p) * (p.spinful ? 2 : 1);
+}
+
+std::uint32_t hubbard_mode(const HubbardParams& p, std::size_t x,
+                           std::size_t y, int spin) {
+  if (x >= p.lx || y >= p.ly || spin < 0 || spin >= (p.spinful ? 2 : 1))
+    throw std::invalid_argument("hubbard_mode: index out of range");
+  return site_mode(p, y * p.lx + x, spin);
+}
+
+FermionSum hubbard_hamiltonian(const HubbardParams& p) {
+  if (p.lx == 0 || p.ly == 0)
+    throw std::invalid_argument("hubbard_hamiltonian: empty lattice");
+  const int num_spins = p.spinful ? 2 : 1;
+  const auto mode = [&](std::size_t site, int sp) {
+    return site_mode(p, site, sp);
+  };
+  FermionSum h;
+  for (const auto& [i, j] : bonds(p)) {
+    for (int sp = 0; sp < num_spins; ++sp) {
+      h.add(FermionProduct::one_body(-p.t, mode(i, sp), mode(j, sp)));
+      h.add(FermionProduct::one_body(-p.t, mode(j, sp), mode(i, sp)));
+    }
+    if (!p.spinful && p.u != 0.0)
+      h.add(density_density(p.u, mode(i, 0), mode(j, 0)));
+  }
+  if (p.spinful && p.u != 0.0)
+    for (std::size_t s = 0; s < hubbard_num_sites(p); ++s)
+      h.add(density_density(p.u, mode(s, 0), mode(s, 1)));
+  if (p.mu != 0.0)
+    for (std::size_t s = 0; s < hubbard_num_sites(p); ++s)
+      for (int sp = 0; sp < num_spins; ++sp)
+        h.add(density_density(-p.mu, mode(s, sp), mode(s, sp)));
+  return h;
+}
+
+ScbSum hubbard_scb(const HubbardParams& p) {
+  return jw_sum(hubbard_hamiltonian(p), hubbard_num_modes(p));
+}
+
+FermionSum total_number(std::size_t num_modes) {
+  FermionSum n;
+  for (std::size_t m = 0; m < num_modes; ++m)
+    n.add(FermionProduct(1.0, {{static_cast<std::uint32_t>(m), true},
+                               {static_cast<std::uint32_t>(m), false}}));
+  return n;
+}
+
+FermionSum random_two_body(std::size_t num_modes, std::size_t num_one,
+                           std::size_t num_two, std::uint64_t seed) {
+  if (num_modes < 2)
+    throw std::invalid_argument("random_two_body: need >= 2 modes");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> md(
+      0, static_cast<std::uint32_t>(num_modes - 1));
+  std::uniform_real_distribution<double> cd(-1.0, 1.0);
+  FermionSum h;
+  for (std::size_t k = 0; k < num_one; ++k) {
+    const std::uint32_t pm = md(rng), q = md(rng);
+    const cplx c(cd(rng), cd(rng));
+    h.add(FermionProduct::one_body(c, pm, q));
+    h.add(FermionProduct::one_body(std::conj(c), q, pm));
+  }
+  for (std::size_t k = 0; k < num_two; ++k) {
+    std::uint32_t pm = md(rng), q = md(rng), r = md(rng), s = md(rng);
+    while (q == pm) q = md(rng);  // a+_p a+_p (and a_r a_r) vanish; redraw
+    while (s == r) s = md(rng);
+    const cplx c(cd(rng), cd(rng));
+    h.add(FermionProduct::two_body(c, pm, q, r, s));
+    h.add(FermionProduct::two_body(std::conj(c), s, r, q, pm));
+  }
+  return h;
+}
+
+}  // namespace gecos

@@ -1,0 +1,69 @@
+// Concrete second-quantized scenarios: Fermi-Hubbard lattices and a seeded
+// random two-body "molecular-like" generator.
+//
+// These are the workloads the SCB-vs-Pauli comparison of the paper is run
+// on: every builder returns a FermionSum (manifestly Hermitian by explicit
+// conjugate pairs); hubbard_scb / molecular-via-jw_sum produce the direct
+// SCB representation, and ScbSum::to_pauli the "usual strategy" expansion
+// measured against it in bench_main (fermion_* entries of BENCH_pauli.json).
+#pragma once
+
+#include <cstdint>
+
+#include "fermion/fermion_op.hpp"
+#include "fermion/jordan_wigner.hpp"
+
+namespace gecos {
+
+/// Fermi-Hubbard model on an lx x ly rectangular lattice.
+///
+///   H = -t sum_<ij>,sp (a+_{i,sp} a_{j,sp} + h.c.)
+///       + U sum_i n_{i,up} n_{i,down}          (spinful)
+///       + U sum_<ij> n_i n_j                   (spinless: density-density)
+///       - mu sum_{i,sp} n_{i,sp}
+///
+/// <ij> ranges over nearest-neighbor bonds, each counted once; boundaries
+/// wrap per axis when periodic (wrap bonds that duplicate an open bond on
+/// 2-site axes are skipped).
+struct HubbardParams {
+  std::size_t lx = 4;        ///< sites along x (>= 1)
+  std::size_t ly = 1;        ///< sites along y (1 = 1D chain)
+  double t = 1.0;            ///< hopping amplitude
+  double u = 4.0;            ///< interaction strength
+  double mu = 0.0;           ///< chemical potential
+  bool periodic_x = false;   ///< wrap bonds along x
+  bool periodic_y = false;   ///< wrap bonds along y
+  bool spinful = false;      ///< two spin species per site
+};
+
+/// Number of lattice sites: lx * ly.
+std::size_t hubbard_num_sites(const HubbardParams& p);
+/// Number of fermionic modes (= JW qubits): sites * (spinful ? 2 : 1).
+std::size_t hubbard_num_modes(const HubbardParams& p);
+/// Mode index of (x, y, spin): spin is the fastest axis (up = 0, down = 1),
+/// then x, then y — so on-site spin pairs are JW-adjacent.
+std::uint32_t hubbard_mode(const HubbardParams& p, std::size_t x,
+                           std::size_t y, int spin);
+
+/// The Hubbard Hamiltonian as a fermionic sum (one bare word per ladder
+/// product; conjugate hopping pairs present explicitly). O(sites) terms.
+FermionSum hubbard_hamiltonian(const HubbardParams& p);
+
+/// Direct SCB representation: jw_sum(hubbard_hamiltonian(p)) on
+/// hubbard_num_modes(p) qubits. One SCB term per fermionic word.
+ScbSum hubbard_scb(const HubbardParams& p);
+
+/// Total particle number N = sum_p a+_p a_p (commutes with every builder in
+/// this header; pinned by tests/test_hubbard.cpp).
+FermionSum total_number(std::size_t num_modes);
+
+/// Seeded random Hermitian "molecular-like" Hamiltonian over num_modes
+/// spin-orbitals: num_one one-body pairs h_pq a+_p a_q + h.c. and num_two
+/// two-body quadruples h_pqrs a+_p a+_q a_r a_s + h.c., with coefficients
+/// uniform in [-1, 1]^2 (complex for off-diagonal words). Mode tuples are
+/// drawn uniformly; duplicate draws merge, so the returned sum can hold
+/// fewer than 2 * (num_one + num_two) words.
+FermionSum random_two_body(std::size_t num_modes, std::size_t num_one,
+                           std::size_t num_two, std::uint64_t seed);
+
+}  // namespace gecos

@@ -1,0 +1,49 @@
+#include "fermion/jordan_wigner.hpp"
+
+#include <stdexcept>
+
+namespace gecos {
+
+ScbTerm jw_ladder(std::uint32_t mode, bool dagger, std::size_t num_qubits) {
+  if (mode >= num_qubits)
+    throw std::invalid_argument("jw_ladder: mode out of range");
+  std::vector<Scb> ops(num_qubits, Scb::I);
+  for (std::uint32_t q = 0; q < mode; ++q) ops[q] = Scb::Z;
+  ops[mode] = dagger ? Scb::Sp : Scb::Sm;
+  return ScbTerm(1.0, std::move(ops), false);
+}
+
+ScbTerm jw_product(const FermionProduct& p, std::size_t num_qubits) {
+  if (p.min_modes() > num_qubits)
+    throw std::invalid_argument("jw_product: mode out of range");
+  std::vector<Scb> acc(num_qubits, Scb::I);
+  cplx coeff = p.coeff();
+  for (const LadderOp& f : p.factors()) {
+    if (coeff == cplx(0.0)) break;
+    // acc := acc * jw(f), qubit by qubit. The factor's word is Z below the
+    // mode, s/s+ at the mode, I above — multiply only the touched qubits.
+    for (std::uint32_t q = 0; q < f.mode; ++q) {
+      const ScaledScb m = scb_mul(acc[q], Scb::Z);
+      coeff *= m.coeff;
+      acc[q] = m.op;
+    }
+    const ScaledScb m = scb_mul(acc[f.mode], f.dagger ? Scb::Sp : Scb::Sm);
+    coeff *= m.coeff;
+    acc[f.mode] = m.op;
+  }
+  if (coeff == cplx(0.0)) std::fill(acc.begin(), acc.end(), Scb::I);
+  ScbTerm t(1.0, std::move(acc), false);
+  t.set_coeff(coeff);
+  return t;
+}
+
+ScbSum jw_sum(const FermionSum& s, std::size_t num_qubits) {
+  ScbSum out(num_qubits);
+  for (const auto& [word, c] : s.terms()) {
+    const ScbTerm t = jw_product(FermionProduct(c, word), num_qubits);
+    if (t.coeff() != cplx(0.0)) out.add(t);
+  }
+  return out;
+}
+
+}  // namespace gecos

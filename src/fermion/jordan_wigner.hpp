@@ -1,0 +1,42 @@
+// Jordan-Wigner map: ladder operators directly into SCB terms.
+//
+// Mode p maps to qubit p (qubit 0 = least significant). The image of one
+// ladder operator is ONE bare SCB product,
+//
+//   a_p         ->  Z_0 ... Z_{p-1} s_p      (s  = |0><1|, annihilation)
+//   a_p^dagger  ->  Z_0 ... Z_{p-1} s+_p     (s+ = |1><0|)
+//
+// and because the SCB closes under multiplication, the image of a *product*
+// of ladder operators is again one bare SCB product, collapsed per qubit by
+// scb_mul — this is the paper's direct composition: one term per fermionic
+// word, versus the 2^k Pauli strings the factor-by-factor decomposition
+// pays (k = number of {n, m, s, s+} factors; see ops/conversion.hpp).
+// Conventions are spelled out in DESIGN.md "Jordan-Wigner convention".
+#pragma once
+
+#include <cstdint>
+
+#include "fermion/fermion_op.hpp"
+#include "ops/scb_sum.hpp"
+#include "ops/term.hpp"
+
+namespace gecos {
+
+/// JW image of a_mode (dagger == false) or a_mode^dagger on num_qubits
+/// qubits: one bare ScbTerm with Z on qubits 0..mode-1 and s/s+ on `mode`.
+/// O(num_qubits). Throws if mode >= num_qubits.
+ScbTerm jw_ladder(std::uint32_t mode, bool dagger, std::size_t num_qubits);
+
+/// JW image of a ladder-operator product: the factor images are multiplied
+/// symbolically qubit-by-qubit through the Cayley closure (scb_mul), so the
+/// result is a *single* bare ScbTerm — possibly with coefficient 0 when the
+/// word annihilates every state (e.g. a_p a_p). O(degree * num_qubits).
+ScbTerm jw_product(const FermionProduct& p, std::size_t num_qubits);
+
+/// JW image of a whole sum: one SCB term per fermionic word (zero-collapsed
+/// words drop out; distinct fermionic words can collapse to the same SCB
+/// word and merge). The SCB term count is therefore <= s.size() — always
+/// polynomial in the fermionic term count, with no 2^k expansion.
+ScbSum jw_sum(const FermionSum& s, std::size_t num_qubits);
+
+}  // namespace gecos

@@ -16,39 +16,51 @@
 
 namespace gecos {
 
+/// The scalar type of the whole library: double-precision complex.
 using cplx = std::complex<double>;
 
 /// Dense row-major complex matrix with value semantics.
 class Matrix {
  public:
+  /// Empty 0x0 matrix.
   Matrix() = default;
+  /// Zero-initialized rows x cols matrix.
   Matrix(std::size_t rows, std::size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols) {}
   /// Construct from a nested initializer list; rows must be equal length.
   Matrix(std::initializer_list<std::initializer_list<cplx>> rows);
 
+  /// n x n identity.
   static Matrix identity(std::size_t n);
+  /// Explicit all-zero matrix (same as the sizing constructor).
   static Matrix zero(std::size_t rows, std::size_t cols);
   /// Haar-ish random unitary via Gram-Schmidt on a random Gaussian matrix.
   static Matrix random_unitary(std::size_t n, std::mt19937& rng);
   /// Random Hermitian with entries of magnitude O(1).
   static Matrix random_hermitian(std::size_t n, std::mt19937& rng);
 
+  /// Shape accessors; empty() is true only for the default-constructed 0x0.
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Unchecked element access (row-major).
   cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   const cplx& operator()(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
+  /// Contiguous view of one row.
   std::span<cplx> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
   std::span<const cplx> row(std::size_t r) const {
     return {data_.data() + r * cols_, cols_};
   }
+  /// Row-major view of the whole storage.
   std::span<const cplx> flat() const { return data_; }
   std::span<cplx> flat() { return data_; }
 
+  /// Elementwise sum/difference and matrix/scalar products; shapes must
+  /// match (matrix product: inner dimensions). operator* allocates the
+  /// result and delegates to mul_into, O(n^3).
   Matrix operator+(const Matrix& o) const;
   Matrix operator-(const Matrix& o) const;
   Matrix operator*(const Matrix& o) const;
@@ -73,6 +85,7 @@ class Matrix {
   /// Kronecker product: (*this) (x) o.
   Matrix kron(const Matrix& o) const;
 
+  /// Matrix-vector product (*this) v; v.size() must equal cols(). O(n^2).
   std::vector<cplx> apply(std::span<const cplx> v) const;
 
   /// Frobenius norm.
@@ -82,9 +95,13 @@ class Matrix {
   /// Spectral norm upper bound estimate via a few power iterations on A†A.
   double norm2_est(int iters = 30) const;
 
+  /// Max |a_ij - o_ij| (shapes must match).
   double max_abs_diff(const Matrix& o) const;
+  /// Entrywise ||A - A^dagger||_max <= tol.
   bool is_hermitian(double tol = 1e-12) const;
+  /// ||A A^dagger - I||_max <= tol (O(n^3)).
   bool is_unitary(double tol = 1e-10) const;
+  /// Sum of the diagonal.
   cplx trace() const;
 
   /// Extracts the top-left block of the given shape.
@@ -97,6 +114,7 @@ class Matrix {
   std::vector<cplx> data_;
 };
 
+/// Scalar-from-the-left product s * m.
 Matrix operator*(cplx s, const Matrix& m);
 
 /// Kronecker product of a list, left-to-right: ops[0] (x) ops[1] (x) ...
@@ -104,9 +122,12 @@ Matrix kron_all(std::span<const Matrix> ops);
 
 // -- vector helpers (statevectors are plain std::vector<cplx>) --------------
 
+/// Euclidean norm ||v||_2.
 double vec_norm(std::span<const cplx> v);
 cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b);  // <a|b>
+/// Max |a_i - b_i| (sizes must match).
 double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b);
+/// v *= s in place.
 void vec_scale(std::span<cplx> v, cplx s);
 /// y += s * x
 void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x);

@@ -15,30 +15,39 @@ namespace gecos {
 
 /// One explicit entry of a sparse matrix in coordinate form.
 struct Triplet {
-  std::size_t row = 0;
-  std::size_t col = 0;
-  cplx value;
+  std::size_t row = 0;  ///< row index
+  std::size_t col = 0;  ///< column index
+  cplx value;           ///< entry value (duplicates are summed on build)
 };
 
 /// Immutable CSR matrix built from triplets (duplicates are summed).
 class CsrMatrix {
  public:
+  /// Empty 0x0 matrix.
   CsrMatrix() = default;
+  /// Build from coordinate triplets; duplicates are summed. O(nnz log nnz).
   CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
 
+  /// Sparsify a dense matrix, keeping entries with |value| > tol.
   static CsrMatrix from_dense(const Matrix& m, double tol = 0.0);
 
+  /// Shape and stored-entry count.
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return vals_.size(); }
 
+  /// Matrix-vector product A v; O(nnz).
   std::vector<cplx> apply(std::span<const cplx> v) const;
   /// y += s * (A x)
   void apply_add(std::span<const cplx> x, std::span<cplx> y, cplx s) const;
 
+  /// Dense copy (verification only).
   Matrix to_dense() const;
+  /// Conjugate transpose as a new CSR matrix.
   CsrMatrix dagger() const;
+  /// Entrywise ||A - A^dagger||_max <= tol.
   bool is_hermitian(double tol = 1e-12) const;
+  /// Max absolute stored entry.
   double norm_max() const;
 
   /// Row slices for iteration.

@@ -84,29 +84,37 @@ inline std::uint64_t packed_hash_xz(const std::uint64_t* x,
 /// of word (q / 64) of each mask.
 class PackedPauli {
  public:
+  /// Zero-qubit word (use the sizing constructor for a real identity).
   PackedPauli() = default;
   /// Identity on num_qubits qubits.
   explicit PackedPauli(std::size_t num_qubits)
       : num_qubits_(num_qubits), xz_(2 * packed_words(num_qubits), 0) {}
+  /// From raw x/z mask words (packed_words(num_qubits) words each; bits
+  /// above num_qubits must be clear).
   PackedPauli(std::size_t num_qubits, const std::uint64_t* x,
               const std::uint64_t* z);
 
+  /// Pack an unpacked PauliString (O(n)).
   static PackedPauli from_string(const PauliString& s);
   /// From text, qubit 0 first, e.g. "XIZY" (same grammar as PauliString).
   static PackedPauli parse(const std::string& text);
 
+  /// Qubit count, mask word count, and raw mask views (x block, z block).
   std::size_t num_qubits() const { return num_qubits_; }
   std::size_t words() const { return xz_.size() / 2; }
   const std::uint64_t* x_words() const { return xz_.data(); }
   const std::uint64_t* z_words() const { return xz_.data() + words(); }
 
+  /// Read / write one qubit's factor (I/X/Y/Z only); O(1) bit moves.
   Scb op(std::size_t q) const;
   void set_op(std::size_t q, Scb s);
 
+  /// True when both masks are all-zero.
   bool is_identity() const;
   /// Number of non-identity factors: pc(x | z).
   int weight() const;
 
+  /// Unpacked copy / text form / dense 2^n matrix (verification only).
   PauliString to_pauli_string() const;
   std::string str() const;
   Matrix to_matrix() const;
@@ -114,9 +122,12 @@ class PackedPauli {
   /// Phase-tracked product via the word kernels: a*b = phase * string.
   static std::pair<cplx, PackedPauli> multiply(const PackedPauli& a,
                                                const PackedPauli& b);
+  /// Symplectic-form commutation test, O(words).
   bool commutes_with(const PackedPauli& o) const;
 
+  /// Bitwise equality (same qubit count and masks).
   bool operator==(const PackedPauli& o) const = default;
+  /// packed_hash_xz over the stored masks.
   std::uint64_t hash() const {
     return packed_hash_xz(x_words(), z_words(), words());
   }

@@ -30,19 +30,24 @@ namespace gecos {
 /// Word over {I,X,Y,Z}; index = qubit (0 = least significant).
 class PauliString {
  public:
+  /// Zero-qubit (empty) string.
   PauliString() = default;
+  /// From per-qubit factors; throws if any entry is not I/X/Y/Z.
   explicit PauliString(std::vector<Scb> paulis);
   /// From text, qubit 0 first, e.g. "XIZY". Only I/X/Y/Z allowed.
   static PauliString parse(const std::string& text);
 
+  /// Qubit count and per-qubit factor access.
   std::size_t num_qubits() const { return ops_.size(); }
   Scb op(std::size_t q) const { return ops_[q]; }
   const std::vector<Scb>& ops() const { return ops_; }
 
+  /// True when every factor is I.
   bool is_identity() const;
   /// Number of non-identity factors.
   int weight() const;
 
+  /// Text form (qubit 0 first) and dense 2^n matrix (verification only).
   std::string str() const;
   Matrix to_matrix() const;
 
@@ -51,8 +56,10 @@ class PauliString {
   /// word-parallel PackedPauli::multiply.
   static std::pair<cplx, PauliString> multiply(const PauliString& a,
                                                const PauliString& b);
+  /// Per-qubit commutation test (legacy; see PackedPauli::commutes_with).
   bool commutes_with(const PauliString& o) const;
 
+  /// Lexicographic order over (length, per-qubit factors), I < X < Y < Z.
   auto operator<=>(const PauliString& o) const = default;
 
  private:
@@ -67,13 +74,19 @@ class PauliString {
 /// their table slots are reclaimed on the next rehash or prune().
 class PauliSum {
  public:
+  /// Empty sum; adopts the qubit count of the first string added.
   PauliSum() = default;
+  /// Empty sum with a fixed qubit count.
   explicit PauliSum(std::size_t num_qubits) { ensure_qubits(num_qubits); }
 
+  /// Qubit count (0 until fixed by construction or first add).
   std::size_t num_qubits() const { return num_qubits_; }
   /// 64-bit words per mask (x or z) of each stored key.
   std::size_t words() const { return words_; }
 
+  /// Accumulates coeff * string, merging with an existing entry and
+  /// dropping it when the merged coefficient cancels below tol. Amortized
+  /// O(words) per call.
   void add(const PauliString& s, cplx coeff, double tol = 1e-14);
   void add(const PackedPauli& p, cplx coeff, double tol = 1e-14);
   void add(const PauliSum& other);
@@ -82,6 +95,7 @@ class PauliSum {
   void add_raw(const std::uint64_t* x, const std::uint64_t* z, cplx coeff,
                double tol = 1e-14);
 
+  /// Number of live strings / whether the sum is zero.
   std::size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
 
@@ -107,12 +121,16 @@ class PauliSum {
   /// Pre-sizes the table for n live terms.
   void reserve(std::size_t n);
 
+  /// Scalar scaling and termwise sum.
   PauliSum operator*(cplx s) const;
   PauliSum operator+(const PauliSum& o) const;
   /// Product expands distributively with packed-word phase tracking.
   PauliSum operator*(const PauliSum& o) const;
 
+  /// Dense 2^n matrix (verification only; O(size * 4^n) writes).
   Matrix to_matrix(std::size_t num_qubits) const;
+  /// True when every coefficient is real within tol (Pauli strings are
+  /// Hermitian, so realness of the coefficients is the whole condition).
   bool is_hermitian(double tol = 1e-12) const;
   /// Sum of |coeff| (the LCU normalization lambda).
   double one_norm() const;
@@ -123,6 +141,7 @@ class PauliSum {
   /// no dense to_matrix() materialization. Requires x.size() == 2^n.
   void apply(std::span<const cplx> x, std::span<cplx> y) const;
 
+  /// Deterministic " + "-joined text form (sorted_terms order).
   std::string str() const;
 
  private:

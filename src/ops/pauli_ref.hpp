@@ -21,24 +21,32 @@ namespace gecos {
 /// Sparse combination of Pauli strings over an ordered std::map (legacy).
 class RefPauliSum {
  public:
+  /// Empty sum.
   RefPauliSum() = default;
 
+  /// Accumulates coeff * string, erasing on cancellation below tol.
   void add(const PauliString& s, cplx coeff, double tol = 1e-14);
   void add(const RefPauliSum& other);
 
+  /// Size, emptiness, and the ordered string -> coefficient view.
   std::size_t size() const { return terms_.size(); }
   bool empty() const { return terms_.empty(); }
   const std::map<PauliString, cplx>& terms() const { return terms_; }
 
+  /// Scalar scaling and termwise sum.
   RefPauliSum operator*(cplx s) const;
   RefPauliSum operator+(const RefPauliSum& o) const;
   /// Product expands distributively with per-qubit Pauli phase tracking.
   RefPauliSum operator*(const RefPauliSum& o) const;
 
+  /// Dense 2^n matrix (verification only).
   Matrix to_matrix(std::size_t num_qubits) const;
+  /// Sum of |coeff|.
   double one_norm() const;
+  /// Drops terms with |coeff| <= tol.
   void prune(double tol = 1e-12);
 
+  /// Deterministic " + "-joined text form (map order).
   std::string str() const;
 
  private:

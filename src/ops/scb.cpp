@@ -130,11 +130,23 @@ std::optional<ScaledScb> match_scaled(const Matrix& p) {
 }  // namespace
 
 ScaledScb scb_mul(Scb a, Scb b) {
-  // Compute the product matrix and match it against coeff * basis element.
-  // The Cayley table (paper Table IV) closes, so matching always succeeds.
-  const Matrix p = scb_matrix(a) * scb_matrix(b);
-  if (auto m = match_scaled(p)) return *m;
-  throw std::logic_error("scb_mul: product left the basis (cannot happen)");
+  // The Cayley table (paper Table IV) is finite: derive it once by matching
+  // dense 2x2 products against coeff * basis element (closure guarantees a
+  // match), then serve every call as an O(1) lookup — scb_mul sits on the
+  // hot path of ScbSum products and the Jordan-Wigner composition.
+  static const auto table = [] {
+    std::array<std::array<ScaledScb, 8>, 8> t{};
+    for (Scb x : kAllScb)
+      for (Scb y : kAllScb) {
+        const Matrix p = scb_matrix(x) * scb_matrix(y);
+        const auto m = match_scaled(p);
+        if (!m)
+          throw std::logic_error("scb_mul: product left the basis (cannot happen)");
+        t[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = *m;
+      }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
 }
 
 std::optional<ScaledScb> scb_commutator(Scb a, Scb b) {

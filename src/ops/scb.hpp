@@ -18,6 +18,7 @@
 
 namespace gecos {
 
+/// The eight single-qubit basis operators of the Single Component Basis.
 enum class Scb : std::uint8_t {
   I = 0,
   X = 1,
@@ -43,6 +44,7 @@ Scb scb_from_name(const std::string& name);
 /// Adjoint stays in the basis: I,X,Y,Z,n,m are self-adjoint; Sm <-> Sp.
 Scb scb_adjoint(Scb op);
 
+/// True for the self-adjoint operators (everything but Sm/Sp).
 bool scb_is_hermitian(Scb op);
 /// True for X, Y, Sm, Sp: operators with off-diagonal support (they flip the
 /// qubit in the computational basis).
@@ -57,14 +59,16 @@ bool scb_is_pauli(Scb op);
 /// A scalar multiple of a basis operator: coeff * op. coeff == 0 encodes the
 /// zero operator (op is then irrelevant).
 struct ScaledScb {
-  cplx coeff;
-  Scb op = Scb::I;
+  cplx coeff;        ///< scalar factor; 0 encodes the zero operator
+  Scb op = Scb::I;   ///< basis operator (irrelevant when coeff == 0)
 };
 
 /// Product a*b following the Cayley table (paper Table IV). The product of
 /// any two basis operators is again a scalar multiple of a basis operator
 /// (possibly zero); this closure is what makes the symbolic Jordan-Wigner
-/// composition in src/fermion work.
+/// composition in src/fermion/jordan_wigner.hpp and the ScbSum product
+/// (src/ops/scb_sum.hpp) collapse to one term per word. O(1): the table is
+/// derived from the dense 2x2 matrices once and cached.
 ScaledScb scb_mul(Scb a, Scb b);
 
 /// Commutator [a,b] = ab - ba if it is a scalar multiple of a basis element;

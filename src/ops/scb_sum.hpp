@@ -1,0 +1,112 @@
+// ScbSum: a complex combination of *bare* SCB products.
+//
+// This is the sum-of-terms layer above ScbTerm: a Hamiltonian (or any
+// operator) kept symbolically in the Single Component Basis as
+// sum_t coeff_t * (C_{n-1} (x) ... (x) C_0). Because the SCB closes under
+// multiplication (scb_mul, paper Table IV), the product of two sums with T1
+// and T2 terms has at most T1*T2 terms — each term-pair collapses per qubit
+// to a *single* term instead of branching into 2^k Pauli strings. This
+// closure is what the direct composition strategy of the paper (and the
+// Jordan-Wigner layer in src/fermion/jordan_wigner.hpp) builds on; see
+// DESIGN.md "SCB sums and normal ordering".
+//
+// Terms are bare products (no "+ h.c." flag): Hermiticity is represented
+// explicitly by the presence of the adjoint term. hermitian_terms() gathers
+// conjugate pairs back into "+ h.c." ScbTerms for the circuit builders.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ops/pauli.hpp"
+#include "ops/scb.hpp"
+#include "ops/term.hpp"
+
+namespace gecos {
+
+/// Sparse complex combination of bare SCB products, keyed by the operator
+/// word (qubit 0 first). A default-constructed sum adopts the qubit count of
+/// the first word added; all words must share it. Deterministic iteration
+/// (std::map over words); sizes stay polynomial for the workloads this layer
+/// targets, so no packed representation is needed.
+class ScbSum {
+ public:
+  /// Empty sum; adopts the qubit count of the first word added.
+  ScbSum() = default;
+  /// Empty sum with a fixed qubit count.
+  explicit ScbSum(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  /// Qubit count (0 until fixed by construction or first add).
+  std::size_t num_qubits() const { return num_qubits_; }
+  /// Number of live terms (words with |coeff| above the add tolerance).
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Accumulates coeff * word; merges with an existing term for the same
+  /// word and erases it when the merged coefficient cancels below tol.
+  /// O(n log size). Throws on a qubit-count mismatch.
+  void add(const std::vector<Scb>& word, cplx coeff, double tol = 1e-14);
+  /// Adds a bare ScbTerm (its h.c. part too when add_hc is set).
+  void add(const ScbTerm& term, double tol = 1e-14);
+  /// Termwise sum: *this += o.
+  void add(const ScbSum& o, double tol = 1e-14);
+
+  /// Coefficient of a word (0 if absent). O(n log size).
+  cplx coeff_of(const std::vector<Scb>& word) const;
+  /// Deterministic word -> coefficient view (lexicographic in Scb order).
+  const std::map<std::vector<Scb>, cplx>& terms() const { return terms_; }
+
+  /// Termwise sum/difference and scalar scaling.
+  ScbSum operator+(const ScbSum& o) const;
+  ScbSum operator-(const ScbSum& o) const;
+  ScbSum operator*(cplx s) const;
+  /// Distributive product via the per-qubit Cayley closure: every pair of
+  /// terms collapses to one term (or vanishes), so the result has at most
+  /// size()*o.size() terms. O(size * o.size * n log) — no 2^k branching.
+  ScbSum operator*(const ScbSum& o) const;
+
+  /// Termwise adjoint: conj(coeff) * adjoint word (Sm <-> Sp).
+  ScbSum adjoint() const;
+  /// Commutator [*this, o] = *this*o - o**this (stays an ScbSum).
+  ScbSum commutator(const ScbSum& o) const;
+  /// True when every word's adjoint carries the conjugate coefficient.
+  bool is_hermitian(double tol = 1e-12) const;
+
+  /// Sum of |coeff| (LCU normalization of the bare-term sum).
+  double one_norm() const;
+  /// Drops terms with |coeff| <= tol.
+  void prune(double tol = 1e-12);
+
+  /// One bare ScbTerm (add_hc == false) per stored word.
+  std::vector<ScbTerm> bare_terms() const;
+  /// Gathers conjugate word pairs into "+ h.c." terms via gather_hermitian;
+  /// throws if the sum is not Hermitian.
+  std::vector<ScbTerm> hermitian_terms(double tol = 1e-12) const;
+
+  /// Pauli expansion of the whole sum (2^k strings per term before
+  /// cross-term cancellation) — the "usual strategy" representation this
+  /// container exists to avoid.
+  PauliSum to_pauli() const;
+  /// Dense 2^n x 2^n matrix (verification only).
+  Matrix to_matrix() const;
+
+  /// y += A x matrix-free via one TermKernel per term (x.size() == 2^n).
+  void apply(std::span<const cplx> x, std::span<cplx> y) const;
+
+  /// Deterministic " + "-joined text form ("0" for the empty sum).
+  std::string str() const;
+
+ private:
+  void ensure_qubits(std::size_t n);
+
+  std::size_t num_qubits_ = 0;
+  std::map<std::vector<Scb>, cplx> terms_;
+};
+
+/// Scalar-from-the-left product s * m.
+ScbSum operator*(cplx s, const ScbSum& m);
+
+}  // namespace gecos

@@ -16,10 +16,13 @@
 
 namespace gecos {
 
+/// One summand: coeff * tensor product of SCB factors, optional "+ h.c.".
 class ScbTerm {
  public:
+  /// Zero-qubit placeholder (assign a parsed/constructed term over it).
   ScbTerm() = default;
-  /// ops[q] acts on qubit q (qubit 0 = least significant bit).
+  /// ops[q] acts on qubit q (qubit 0 = least significant bit). Throws on an
+  /// empty list or more than 63 qubits.
   ScbTerm(cplx coeff, std::vector<Scb> ops, bool add_hc);
 
   /// Parses whitespace-separated operator names in *paper order* (qubit 0
@@ -27,6 +30,8 @@ class ScbTerm {
   static ScbTerm parse(const std::string& text, cplx coeff = 1.0,
                        bool add_hc = true);
 
+  /// Accessors for the qubit count, coefficient, "+ h.c." flag and the
+  /// per-qubit factor word.
   std::size_t num_qubits() const { return ops_.size(); }
   cplx coeff() const { return coeff_; }
   void set_coeff(cplx c) { coeff_ = c; }
@@ -81,6 +86,7 @@ class ScbTerm {
   /// plus its h.c. when add_hc), via TermKernel. x.size() must be 2^n.
   void apply(std::span<const cplx> x, std::span<cplx> y) const;
 
+  /// Human-readable form "(coeff) op op ... [+ h.c.]", paper order.
   std::string str() const;
 
  private:
@@ -105,6 +111,7 @@ struct TermKernel {
   std::uint64_t sign_mask = 0;    // Y/Z positions ((-1)^{x_q} factors)
   cplx base;                      // coeff * i^{#Y}
 
+  /// Compiles the bare product of `term` (h.c. flag ignored); O(n).
   explicit TermKernel(const ScbTerm& term);
 
   /// y += A x for the bare product only (no h.c.).

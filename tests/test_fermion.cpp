@@ -1,0 +1,150 @@
+// Fermionic layer: the CAR algebra {a_i, a_j+} = delta_ij, {a_i, a_j} = 0
+// verified symbolically in the SCB (via the Cayley closure) and against
+// dense matrices at n <= 6; Jordan-Wigner product collapse vs matrix
+// products; CAR normal ordering preserves the operator.
+#include "fermion/fermion_op.hpp"
+
+#include <random>
+
+#include "fermion/jordan_wigner.hpp"
+#include "ops/scb_sum.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+namespace {
+
+ScbSum as_sum(const ScbTerm& t, std::size_t n) {
+  ScbSum s(n);
+  if (t.coeff() != cplx(0.0)) s.add(t);
+  return s;
+}
+
+FermionProduct random_product(std::size_t modes, std::size_t degree,
+                              std::mt19937& rng) {
+  std::vector<LadderOp> f(degree);
+  for (auto& l : f)
+    l = {static_cast<std::uint32_t>(rng() % modes), rng() % 2 == 0};
+  std::uniform_real_distribution<double> c(-1.0, 1.0);
+  return FermionProduct(cplx(c(rng), c(rng)), std::move(f));
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937 rng(11);
+
+  // jw_ladder structure: Z-string below the mode, s/s+ at it, I above.
+  {
+    const ScbTerm a2 = jw_ladder(2, false, 5);
+    CHECK_EQ(a2.op(0), Scb::Z);
+    CHECK_EQ(a2.op(1), Scb::Z);
+    CHECK_EQ(a2.op(2), Scb::Sm);
+    CHECK_EQ(a2.op(3), Scb::I);
+    CHECK_EQ(a2.op(4), Scb::I);
+    CHECK_EQ(jw_ladder(2, true, 5).op(2), Scb::Sp);
+    CHECK_NEAR(jw_ladder(0, true, 3).bare_matrix().max_abs_diff(
+                   jw_ladder(0, false, 3).bare_matrix().dagger()),
+               0.0, 1e-15);
+  }
+
+  // CAR, symbolically in the SCB: for all i, j at n <= 6,
+  // {a_i, a_j+} = delta_ij * I and {a_i, a_j} = 0. Each anticommutator is
+  // computed with ScbSum products (per-qubit Cayley collapse). For i != j
+  // the two orderings collapse to the same word with opposite exact unit
+  // coefficients, so the formal sum is literally empty; for i == j the
+  // result is the word pair n_i + m_i, equal to I only through the linear
+  // relation n + m = I — canonicalize in the (linearly independent) Pauli
+  // basis, where the cancellation is still exact (all halves and units).
+  for (std::size_t n = 1; n <= 6; ++n) {
+    ScbSum ident(n);
+    ident.add(std::vector<Scb>(n, Scb::I), 1.0);
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const ScbSum ai = as_sum(jw_ladder(i, false, n), n);
+        const ScbSum ajd = as_sum(jw_ladder(j, true, n), n);
+        const ScbSum aj = as_sum(jw_ladder(j, false, n), n);
+        ScbSum acar = ai * ajd + ajd * ai;  // {a_i, a_j+}
+        if (i != j) {
+          CHECK(acar.empty());  // exact formal cancellation
+        } else {
+          acar = acar - ident;
+          CHECK_EQ(acar.size(), std::size_t{3});  // n_i, m_i, -I words
+          CHECK(acar.to_pauli().empty());         // = 0 in the Pauli basis
+        }
+        CHECK((ai * aj + aj * ai).empty());  // {a_i, a_j} = 0, exactly
+      }
+  }
+
+  // CAR against dense matrices at n <= 6.
+  for (std::size_t n = 1; n <= 6; ++n)
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const Matrix ai = jw_ladder(i, false, n).bare_matrix();
+        const Matrix ajd = jw_ladder(j, true, n).bare_matrix();
+        const Matrix aj = jw_ladder(j, false, n).bare_matrix();
+        Matrix acar = ai * ajd + ajd * ai;
+        if (i == j) acar -= Matrix::identity(std::size_t{1} << n);
+        CHECK_NEAR(acar.norm_max(), 0.0, 1e-14);
+        CHECK_NEAR((ai * aj + aj * ai).norm_max(), 0.0, 1e-14);
+      }
+
+  // jw_product collapses a ladder word to ONE SCB term equal to the matrix
+  // product of the factor images.
+  for (int it = 0; it < 60; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 5);
+    const FermionProduct p = random_product(n, 1 + rng() % 4, rng);
+    Matrix expect = Matrix::identity(std::size_t{1} << n) * p.coeff();
+    for (const LadderOp& f : p.factors())
+      expect = expect * jw_ladder(f.mode, f.dagger, n).bare_matrix();
+    const ScbTerm t = jw_product(p, n);
+    CHECK_NEAR(t.bare_matrix().max_abs_diff(expect), 0.0, 1e-13);
+    // Adjoint commutes with the map.
+    CHECK_NEAR(jw_product(p.adjoint(), n).bare_matrix().max_abs_diff(
+                   expect.dagger()),
+               0.0, 1e-13);
+  }
+
+  // normal_order preserves the operator (checked through the JW image) and
+  // lands in canonical order: creators ascending, then annihilators
+  // descending, no repeated mode within a species.
+  for (int it = 0; it < 60; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 4);
+    const FermionProduct p = random_product(n, 1 + rng() % 5, rng);
+    const FermionSum no = normal_order(p);
+    CHECK_NEAR(jw_sum(no, n).to_matrix().max_abs_diff(
+                   jw_product(p, n).bare_matrix()),
+               0.0, 1e-12);
+    for (const auto& [word, c] : no.terms()) {
+      for (std::size_t i = 0; i + 1 < word.size(); ++i) {
+        const LadderOp a = word[i], b = word[i + 1];
+        CHECK(a.dagger || !b.dagger);  // no creator right of an annihilator
+        if (a.dagger == b.dagger)
+          CHECK(a.dagger ? a.mode < b.mode : a.mode > b.mode);
+      }
+    }
+  }
+
+  // FermionSum algebra: product = concatenation, adjoint termwise,
+  // is_hermitian detects A + A† and rejects a lone hopping term.
+  {
+    FermionSum h;
+    h.add(FermionProduct::one_body(cplx(0.3, 0.7), 0, 2));
+    CHECK(!h.is_hermitian());
+    h.add(FermionProduct::one_body(cplx(0.3, -0.7), 2, 0));
+    CHECK(h.is_hermitian());
+    const FermionSum hh = h * h;
+    CHECK_NEAR(jw_sum(normal_order(hh), 3).to_matrix().max_abs_diff(
+                   jw_sum(h, 3).to_matrix() * jw_sum(h, 3).to_matrix()),
+               0.0, 1e-13);
+  }
+
+  // Pauli exclusion: a_p a_p maps to the zero term and normal-orders to 0.
+  {
+    const FermionProduct pp(1.0, {{1, false}, {1, false}});
+    CHECK_EQ(jw_product(pp, 3).coeff(), cplx(0.0));
+    CHECK(normal_order(pp).empty());
+  }
+
+  return gecos::test::finish("test_fermion");
+}

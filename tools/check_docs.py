@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Doc-hygiene gate for CI (stdlib only).
+
+Two checks:
+
+1. Markdown links in README.md / DESIGN.md / ROADMAP.md resolve to files
+   that exist in the repo.
+2. Public headers under src/ are documented: the file opens with a comment
+   block, and every public declaration (namespace scope, or public section
+   of a class/struct) is covered by a doc comment — a `//`/`///` line
+   directly above it, a trailing comment on the line, or membership in a
+   contiguous group of one-line declarations whose first member is
+   documented.
+
+The declaration scanner is a line heuristic, not a parser: multi-line
+declaration continuations (deeper indent, or lines ending in ','), enum
+bodies, access specifiers and braces are skipped. False negatives are
+acceptable — this is a hygiene floor, not clang-tidy.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+MARKDOWN = ["README.md", "DESIGN.md", "ROADMAP.md"]
+
+errors: list[str] = []
+
+
+def check_markdown_links() -> None:
+    link_re = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+    for name in MARKDOWN:
+        path = REPO / name
+        if not path.exists():
+            errors.append(f"{name}: file missing")
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for target in link_re.findall(line):
+                if target.startswith(("http://", "https://", "#", "mailto:")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if rel and not (REPO / rel).exists():
+                    errors.append(f"{name}:{lineno}: broken link -> {target}")
+
+
+COMMENT_RE = re.compile(r"^\s*//")
+# A declaration line at namespace scope (indent 0) or class-member scope
+# (indent 2) that opens a definition or ends a one-line declaration.
+DECL_RE = re.compile(r"^(  )?[A-Za-z_~]")
+SKIP_RE = re.compile(
+    r"^\s*(#|\}|\{|$|public:|private:|protected:|namespace\b|using namespace\b)"
+)
+
+
+def check_header(path: Path) -> None:
+    rel = path.relative_to(REPO)
+    lines = path.read_text().splitlines()
+    if not lines or not lines[0].startswith("//"):
+        errors.append(f"{rel}:1: header must open with a file comment block")
+        return
+    # Block stack: 'namespace' | 'class' | 'other' (function body, enum —
+    # declarations are only scanned directly inside namespaces and the
+    # public part of classes).
+    stack: list[str] = []
+    in_private = False
+    prev_documented_decl = False  # one-line decl group inheritance
+    prev_nonblank_comment = False
+    for lineno, line in enumerate(lines, 1):
+        code = line.split("//", 1)[0] if "//" in line else line
+        stripped = line.strip()
+        if stripped in ("private:", "protected:"):
+            in_private = True
+        elif stripped == "public:":
+            in_private = False
+
+        scope = stack[-1] if stack else "namespace"
+        in_enum = bool(stack) and stack[-1] == "enum"
+        net = code.count("{") - code.count("}")
+        if net > 0:
+            if re.match(r"\s*(inline\s+)?namespace\b", code):
+                kind = "namespace"
+            elif re.match(r"\s*(class|struct|union)\b", code):
+                kind = "class"
+            elif re.match(r"\s*enum\b", code):
+                kind = "enum"
+            else:
+                kind = "other"
+            stack.extend([kind] * net)
+        elif net < 0:
+            del stack[net:]
+            if scope == "class" and (not stack or stack[-1] != "class"):
+                in_private = False
+
+        if SKIP_RE.match(line):
+            if not stripped:
+                prev_documented_decl = False
+            prev_nonblank_comment = False
+            continue
+        if COMMENT_RE.match(line):
+            prev_nonblank_comment = True
+            prev_documented_decl = False
+            continue
+
+        at_ns_scope = scope == "namespace" and not line.startswith((" ", "\t"))
+        at_class_scope = scope == "class" and re.match(r"^  \S", line)
+        is_decl_start = bool(
+            (at_ns_scope or at_class_scope)
+            and DECL_RE.match(line)
+            and not in_private
+            and not in_enum
+        )
+        ends_like_decl = (
+            stripped.endswith((";", "{"))
+            or (net == 0 and stripped.endswith("}"))
+            or stripped.startswith("template")
+        )
+        if is_decl_start and ends_like_decl:
+            # One-line declarations/definitions chain into documented groups
+            # (one comment covers a contiguous run, e.g. operator overload
+            # sets); a group also covers an immediately-following multi-line
+            # overload of the same kind.
+            one_line = stripped.endswith(";") or (
+                net == 0 and stripped.endswith("}")
+            )
+            documented = (
+                prev_nonblank_comment or "//" in line or prev_documented_decl
+            )
+            if not documented:
+                errors.append(f"{rel}:{lineno}: undocumented declaration: "
+                              f"{stripped[:60]}")
+            # A documented template<> line covers the declaration under it.
+            prev_documented_decl = documented and (
+                one_line or stripped.startswith("template")
+            )
+        elif is_decl_start and "(" in line:
+            # Multi-line function declaration head (ends with ','): require
+            # a comment above. Lines without '(' at this point are
+            # aggregate/member continuations — skip those.
+            if not prev_nonblank_comment and "//" not in line:
+                errors.append(f"{rel}:{lineno}: undocumented declaration: "
+                              f"{stripped[:60]}")
+            prev_documented_decl = False
+        else:
+            prev_documented_decl = False
+        prev_nonblank_comment = False
+
+
+def main() -> int:
+    check_markdown_links()
+    for path in sorted(REPO.glob("src/**/*.hpp")):
+        check_header(path)
+    if errors:
+        for e in errors:
+            print(f"check_docs: {e}")
+        print(f"check_docs: {len(errors)} problem(s)")
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
