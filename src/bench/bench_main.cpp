@@ -10,12 +10,14 @@
 // (ops/pauli_ref.hpp and a per-qubit apply loop) so regressions and speedup
 // claims are visible in one artifact.
 //
-// Usage: bench_main [--quick] [--out PATH] [--help]   (see print_help)
+// Usage: bench_main [--quick] [--out PATH] [--threads K] [--help]
+// (see print_help)
 #include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -24,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "evolve/trotter.hpp"
 #include "fermion/hubbard.hpp"
 #include "fermion/jordan_wigner.hpp"
 #include "linalg/expm.hpp"
@@ -33,6 +36,8 @@
 #include "ops/pauli_ref.hpp"
 #include "ops/scb_sum.hpp"
 #include "ops/term.hpp"
+#include "state/state_vector.hpp"
+#include "util/parallel.hpp"
 
 using namespace gecos;
 
@@ -129,7 +134,7 @@ void legacy_apply_terms(const std::vector<ScbTerm>& terms,
 
 void print_help(const char* prog) {
   std::printf(
-      "usage: %s [--quick] [--out PATH] [--help]\n"
+      "usage: %s [--quick] [--out PATH] [--threads K] [--help]\n"
       "\n"
       "Runs the GECOS benchmark suite and writes a JSON report.\n"
       "\n"
@@ -138,6 +143,11 @@ void print_help(const char* prog) {
       "               test, so absolute numbers are noisier\n"
       "  --out PATH   output path for the JSON report (default:\n"
       "               BENCH_pauli.json)\n"
+      "  --threads K  worker count for the parallel statevector kernels;\n"
+      "               the parallel_apply/hubbard_quench entries measure\n"
+      "               1 vs K explicitly (without the flag: 1 vs 4; other\n"
+      "               entries follow GECOS_THREADS, else hardware\n"
+      "               concurrency)\n"
       "  --help       print this message and exit\n"
       "\n"
       "Output schema \"gecos-bench-v1\":\n"
@@ -147,8 +157,10 @@ void print_help(const char* prog) {
       "*_per_sec are derived rates; speedup_vs_ref compares against the\n"
       "retained legacy implementation in the same binary and run. fermion_*\n"
       "entries report scb_terms vs pauli_strings and the build time of each\n"
-      "representation. See DESIGN.md \"Benchmark methodology\" and README.md\n"
-      "\"Reading BENCH_pauli.json\".\n",
+      "representation; parallel_apply and hubbard_quench report the threaded\n"
+      "statevector/evolution throughput. See DESIGN.md \"Benchmark\n"
+      "methodology\", \"Threading model\" and README.md \"Reading\n"
+      "BENCH_pauli.json\".\n",
       prog);
 }
 
@@ -156,6 +168,7 @@ void print_help(const char* prog) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  int threads_flag = 0;  // 0 = not given; parallel entries then default to 4
   std::string out_path = "BENCH_pauli.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -165,6 +178,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --threads requires a count argument\n",
+                     argv[0]);
+        return 2;
+      }
+      const int k = std::atoi(argv[++i]);
+      if (k < 1) {
+        std::fprintf(stderr, "%s: --threads needs a positive count, got '%s'\n",
+                     argv[0], argv[i]);
+        return 2;
+      }
+      threads_flag = k;
+      set_num_threads(k);
     } else if (std::strcmp(argv[i], "--help") == 0 ||
              std::strcmp(argv[i], "-h") == 0) {
       print_help(argv[0]);
@@ -172,7 +199,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "%s: unknown argument '%s'\nusage: %s [--quick] [--out "
-                   "PATH] [--help]\n",
+                   "PATH] [--threads K] [--help]\n",
                    argv[0], argv[i], argv[0]);
       return 2;
     }
@@ -428,6 +455,80 @@ int main(int argc, char** argv) {
                          {{"num_qubits", static_cast<double>(mol_modes)},
                           {"scb_vs_pauli_max_diff", diff}}});
     }
+  }
+
+  // -- threaded statevector apply and Trotter quench throughput --------------
+  // parallel_apply: the matrix-free ScbSum apply of a Hubbard Hamiltonian at
+  // 1 worker vs the configured count (--threads, default 4); the quench
+  // entry then runs the full Strang evolution engine on the same lattice
+  // from the CDW product state, where each exact term exponential sweeps its
+  // selected amplitudes in parallel with zero per-step allocation.
+  {
+    // An explicit --threads K wins (even K = 1: the parallel leg then just
+    // re-measures the serial path); otherwise measure 1 vs 4 workers.
+    const int k_threads = threads_flag > 0 ? threads_flag : 4;
+    HubbardParams hq;  // 2D spinful lattice, n = 2 * lx * ly modes
+    hq.lx = quick ? 4 : 5;
+    hq.ly = 2;
+    hq.t = 1.0;
+    hq.u = 4.0;
+    hq.mu = 0.5;
+    hq.periodic_x = true;
+    hq.spinful = true;
+    const std::size_t n = hubbard_num_modes(hq);  // 16 quick, 20 full
+    const std::size_t dim = std::size_t{1} << n;
+    const ScbSum h = hubbard_scb(hq);
+    const std::vector<cplx> x = random_state(dim, rng);
+    std::vector<cplx> y(dim);
+
+    const auto apply_once = [&] {
+      h.apply(x, y);
+      sink += static_cast<std::size_t>(std::abs(y[0].real()) < 2);
+    };
+    set_num_threads(1);
+    const double serial_s = time_per_op(apply_once, min_s);
+    set_num_threads(k_threads);
+    const double par_s = time_per_op(apply_once, min_s);
+    const double amps = static_cast<double>(dim) * static_cast<double>(h.size());
+    std::printf("parallel_apply       n=%zu terms=%zu 1thr=%.3fms %dthr=%.3fms"
+                " speedup=%.2fx\n",
+                n, h.size(), serial_s * 1e3, k_threads, par_s * 1e3,
+                serial_s / par_s);
+    results.push_back({"parallel_apply",
+                       {{"num_qubits", static_cast<double>(n)},
+                        {"scb_terms", static_cast<double>(h.size())},
+                        {"threads", static_cast<double>(k_threads)},
+                        {"serial_seconds_per_op", serial_s},
+                        {"seconds_per_op", par_s},
+                        {"term_amplitudes_per_sec", amps / par_s},
+                        {"parallel_speedup", serial_s / par_s}}});
+
+    // Hubbard quench: Strang steps from the half-filling CDW state.
+    const TrotterEvolver ev(h);
+    StateVector psi = StateVector::product(n, hubbard_cdw_occupation(hq));
+    const double e0 = psi.expectation(h).real();
+    const double dt = 0.02;
+    const double step_s = time_per_op(
+        [&] {
+          ev.step(psi, dt, 2);
+          sink += static_cast<std::size_t>(psi[0].real() < 2);
+        },
+        min_s);
+    const double drift = std::abs(psi.expectation(h).real() - e0);
+    const double step_amps =
+        2.0 * static_cast<double>(ev.num_terms()) * static_cast<double>(dim);
+    std::printf("hubbard_quench       n=%zu exp_terms=%zu step=%.3fms"
+                " (%.2f steps/s, %.1f Mamp/s) drift=%.2e\n",
+                n, ev.num_terms(), step_s * 1e3, 1.0 / step_s,
+                step_amps / step_s / 1e6, drift);
+    results.push_back({"hubbard_quench",
+                       {{"num_qubits", static_cast<double>(n)},
+                        {"exp_terms", static_cast<double>(ev.num_terms())},
+                        {"threads", static_cast<double>(k_threads)},
+                        {"seconds_per_step", step_s},
+                        {"steps_per_sec", 1.0 / step_s},
+                        {"term_amplitudes_per_sec", step_amps / step_s},
+                        {"energy_drift", drift}}});
   }
 
   if (!write_json(out_path, quick, results)) {

@@ -1,0 +1,144 @@
+#include "evolve/trotter.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+#include "util/parallel.hpp"
+
+namespace gecos {
+
+TermExp::TermExp(const ScbTerm& term)
+    : kernel_(term), add_hc_(term.add_hc()) {
+  if (!term.is_valid_hamiltonian())
+    throw std::invalid_argument("TermExp: term is not a valid Hamiltonian");
+  diagonal_ = kernel_.flip == 0;
+  // The h.c. partner state s ^ flip is itself selected exactly when no
+  // flipped position carries an input constraint (i.e. no transition
+  // factors); then A couples |s> <-> |s ^ flip> within the selected set.
+  pair_in_sel_ = (kernel_.flip & kernel_.select_mask) == 0;
+  if (diagonal_) {
+    // H acts as d(s) = sgn(s) * d0 on selected states. Without h.c. the
+    // validity check forces a real base; with h.c. the imaginary part
+    // cancels against the conjugate term.
+    d0_ = add_hc_ ? 2.0 * kernel_.base.real() : kernel_.base.real();
+  } else {
+    // On the pair (|s>, |s2 = s ^ flip>) the Hermitian block is
+    // [[0, conj(h)], [h, 0]] with h(s) = <s2|H|s> = sgn(s) * h0:
+    //   - bare Hermitian term (no h.c.): h0 = base (A alone is Hermitian);
+    //   - h.c. with transitions: s2 is unselected, only A reaches |s2>,
+    //     h0 = base;
+    //   - h.c. without transitions: both A and A† couple the pair,
+    //     h0 = base + (-1)^{pc(sign & flip)} * conj(base), because
+    //     sgn(s2) = sgn(s) * (-1)^{pc(sign & flip)}.
+    h0_ = kernel_.base;
+    if (add_hc_ && pair_in_sel_) {
+      const bool neg = std::popcount(kernel_.sign_mask & kernel_.flip) & 1;
+      h0_ += neg ? -std::conj(kernel_.base) : std::conj(kernel_.base);
+    }
+  }
+}
+
+void TermExp::apply(double t, std::span<cplx> x) const {
+  assert(std::has_single_bit(x.size()));
+  const std::uint64_t dim_mask = x.size() - 1;
+  if ((kernel_.select_val & ~dim_mask) != 0) return;  // nothing selected
+  const std::uint64_t select_val = kernel_.select_val;
+  const std::uint64_t sign_mask = kernel_.sign_mask;
+  const std::uint64_t flip = kernel_.flip;
+
+  if (diagonal_) {
+    if (d0_ == 0.0) return;
+    const cplx phase_pos = std::polar(1.0, -t * d0_);
+    const cplx phase_neg = std::conj(phase_pos);
+    const std::uint64_t free_mask = dim_mask & ~kernel_.select_mask;
+    const std::size_t count = std::size_t{1} << std::popcount(free_mask);
+    parallel_for(count, [&](std::size_t i0, std::size_t i1, int) {
+      std::uint64_t sub = scatter_bits(i0, free_mask);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const std::uint64_t s = sub | select_val;
+        x[s] *= (std::popcount(sign_mask & s) & 1) ? phase_neg : phase_pos;
+        sub = (sub - free_mask) & free_mask;
+      }
+    });
+    return;
+  }
+
+  const double habs = std::abs(h0_);
+  if (habs == 0.0) return;  // coupling cancelled: exp is the identity
+  const double c = std::cos(t * habs);
+  const double sn = std::sin(t * habs);
+  const cplx unit = h0_ / habs;
+  // exp(-i t [[0, conj(h)], [h, 0]]) = cos(t|h|) I - i sin(t|h|) H / |h|:
+  //   x[s]  <- c x[s] + sgn * v * x[s2],   v = -i sin * conj(unit)
+  //   x[s2] <- sgn * u * x[s] + c x[s2],   u = -i sin * unit
+  const cplx u = cplx(0.0, -sn) * unit;
+  const cplx v = cplx(0.0, -sn) * std::conj(unit);
+
+  // Enumerate one representative s per coupled pair. When the partner is
+  // itself selected, halve the walk by pinning the lowest flip bit (a free
+  // bit, since no flipped position is constrained) to zero.
+  std::uint64_t free_mask = dim_mask & ~kernel_.select_mask;
+  if (pair_in_sel_) free_mask &= ~(flip & (~flip + 1));
+  const std::size_t count = std::size_t{1} << std::popcount(free_mask);
+  parallel_for(count, [&](std::size_t i0, std::size_t i1, int) {
+    std::uint64_t sub = scatter_bits(i0, free_mask);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::uint64_t s = sub | select_val;
+      const std::uint64_t s2 = s ^ flip;
+      const bool neg = std::popcount(sign_mask & s) & 1;
+      const cplx xs = x[s], xs2 = x[s2];
+      if (neg) {
+        x[s] = c * xs - v * xs2;
+        x[s2] = -u * xs + c * xs2;
+      } else {
+        x[s] = c * xs + v * xs2;
+        x[s2] = u * xs + c * xs2;
+      }
+      sub = (sub - free_mask) & free_mask;
+    }
+  });
+}
+
+TrotterEvolver::TrotterEvolver(const ScbSum& h, double tol) {
+  n_ = h.num_qubits();
+  if (n_ == 0)
+    throw std::invalid_argument("TrotterEvolver: empty Hamiltonian");
+  const std::vector<ScbTerm> terms = h.hermitian_terms(tol);
+  exps_.reserve(terms.size());
+  for (const ScbTerm& t : terms) exps_.emplace_back(t);
+}
+
+void TrotterEvolver::step(std::span<cplx> x, double dt, int order) const {
+  if (x.size() != (std::size_t{1} << n_))
+    throw std::invalid_argument("TrotterEvolver::step: size mismatch");
+  if (order == 1) {
+    for (const TermExp& e : exps_) e.apply(dt, x);
+  } else if (order == 2) {
+    for (const TermExp& e : exps_) e.apply(dt / 2, x);
+    for (std::size_t i = exps_.size(); i-- > 0;) exps_[i].apply(dt / 2, x);
+  } else {
+    throw std::invalid_argument("TrotterEvolver::step: order must be 1 or 2");
+  }
+}
+
+void TrotterEvolver::step(StateVector& x, double dt, int order) const {
+  step(x.amps(), dt, order);
+}
+
+void TrotterEvolver::evolve(std::span<cplx> x, double t, int steps,
+                            int order) const {
+  if (steps < 1)
+    throw std::invalid_argument("TrotterEvolver::evolve: steps must be >= 1");
+  const double dt = t / steps;
+  for (int i = 0; i < steps; ++i) step(x, dt, order);
+}
+
+void TrotterEvolver::evolve(StateVector& x, double t, int steps,
+                            int order) const {
+  evolve(x.amps(), t, steps, order);
+}
+
+}  // namespace gecos

@@ -83,6 +83,19 @@ ScbSum hubbard_scb(const HubbardParams& p) {
   return jw_sum(hubbard_hamiltonian(p), hubbard_num_modes(p));
 }
 
+std::uint64_t hubbard_cdw_occupation(const HubbardParams& p) {
+  if (hubbard_num_modes(p) > 63)
+    throw std::invalid_argument("hubbard_cdw_occupation: > 63 modes");
+  std::uint64_t occ = 0;
+  for (std::size_t y = 0; y < p.ly; ++y)
+    for (std::size_t x = 0; x < p.lx; ++x) {
+      if ((x + y) % 2 != 0) continue;
+      occ |= std::uint64_t{1} << hubbard_mode(p, x, y, 0);
+      if (p.spinful) occ |= std::uint64_t{1} << hubbard_mode(p, x, y, 1);
+    }
+  return occ;
+}
+
 FermionSum total_number(std::size_t num_modes) {
   FermionSum n;
   for (std::size_t m = 0; m < num_modes; ++m)

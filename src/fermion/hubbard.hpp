@@ -57,6 +57,14 @@ ScbSum hubbard_scb(const HubbardParams& p);
 /// this header; pinned by tests/test_hubbard.cpp).
 FermionSum total_number(std::size_t num_modes);
 
+/// Occupation bitmask (bit = JW qubit = mode) of the charge-density-wave
+/// product state used as the quench initial state: sites on the even
+/// checkerboard (x + y even) are occupied — both spins when spinful — the
+/// odd checkerboard is empty. This is a half-filling eigenstate of every
+/// n_i, far from the Hubbard ground state, so evolving it under
+/// hubbard_scb(p) is a genuine quench. Feed it to StateVector::product.
+std::uint64_t hubbard_cdw_occupation(const HubbardParams& p);
+
 /// Seeded random Hermitian "molecular-like" Hamiltonian over num_modes
 /// spin-orbitals: num_one one-body pairs h_pq a+_p a_q + h.c. and num_two
 /// two-body quadruples h_pqrs a+_p a+_q a_r a_s + h.c., with coefficients

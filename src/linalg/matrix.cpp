@@ -1,9 +1,12 @@
 #include "linalg/matrix.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/parallel.hpp"
 
 namespace gecos {
 
@@ -261,15 +264,30 @@ Matrix kron_all(std::span<const Matrix> ops) {
 }
 
 double vec_norm(std::span<const cplx> v) {
+  // Parallel reduction: per-chunk stack partials (chunk ids are bounded by
+  // kMaxParallelChunks) combined in chunk order, so the result is
+  // deterministic for a fixed thread count and the call allocation-free.
+  std::array<double, kMaxParallelChunks> partial{};
+  parallel_for(v.size(), [&](std::size_t b, std::size_t e, int chunk) {
+    double s = 0;
+    for (std::size_t i = b; i < e; ++i) s += std::norm(v[i]);
+    partial[static_cast<std::size_t>(chunk)] = s;
+  });
   double s = 0;
-  for (const auto& x : v) s += std::norm(x);
+  for (double p : partial) s += p;
   return std::sqrt(s);
 }
 
 cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b) {
   assert(a.size() == b.size());
+  std::array<cplx, kMaxParallelChunks> partial{};
+  parallel_for(a.size(), [&](std::size_t b0, std::size_t e, int chunk) {
+    cplx s = 0;
+    for (std::size_t i = b0; i < e; ++i) s += std::conj(a[i]) * b[i];
+    partial[static_cast<std::size_t>(chunk)] = s;
+  });
   cplx s = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  for (const cplx& p : partial) s += p;
   return s;
 }
 
@@ -282,12 +300,16 @@ double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b) {
 }
 
 void vec_scale(std::span<cplx> v, cplx s) {
-  for (auto& x : v) x *= s;
+  parallel_for(v.size(), [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) v[i] *= s;
+  });
 }
 
 void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x) {
   assert(y.size() == x.size());
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] += s * x[i];
+  parallel_for(y.size(), [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) y[i] += s * x[i];
+  });
 }
 
 std::vector<cplx> random_state(std::size_t dim, std::mt19937& rng) {

@@ -1,9 +1,13 @@
 #include "linalg/sparse.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
 
 namespace gecos {
 
@@ -47,15 +51,26 @@ std::vector<cplx> CsrMatrix::apply(std::span<const cplx> v) const {
   return y;
 }
 
+std::size_t CsrMatrix::n_qubits() const {
+  if (rows_ == 0 || (rows_ & (rows_ - 1)) != 0)
+    throw std::invalid_argument(
+        "CsrMatrix::n_qubits: rows is not a power of two");
+  return static_cast<std::size_t>(std::countr_zero(rows_));
+}
+
 void CsrMatrix::apply_add(std::span<const cplx> x, std::span<cplx> y,
                           cplx s) const {
   assert(x.size() == cols_ && y.size() == rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    cplx acc = 0;
-    for (std::size_t k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
-      acc += vals_[k] * x[cols_idx_[k]];
-    y[r] += s * acc;
-  }
+  assert(x.data() != y.data() && "CsrMatrix::apply_add: x, y must not alias");
+  // Rows partition the output, so row blocks are race-free.
+  parallel_for(rows_, [&](std::size_t r0, std::size_t r1, int) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      cplx acc = 0;
+      for (std::size_t k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+        acc += vals_[k] * x[cols_idx_[k]];
+      y[r] += s * acc;
+    }
+  });
 }
 
 Matrix CsrMatrix::to_dense() const {

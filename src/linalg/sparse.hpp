@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "ops/linear_op.hpp"
 
 namespace gecos {
 
@@ -20,8 +21,11 @@ struct Triplet {
   cplx value;           ///< entry value (duplicates are summed on build)
 };
 
-/// Immutable CSR matrix built from triplets (duplicates are summed).
-class CsrMatrix {
+/// Immutable CSR matrix built from triplets (duplicates are summed). Also a
+/// LinearOperator: square matrices plug into StateVector/Trotter workloads,
+/// with dim() == rows() (rows need not be a power of two for the standalone
+/// CSR uses; n_qubits() throws when rows() is not a power of two).
+class CsrMatrix : public LinearOperator {
  public:
   /// Empty 0x0 matrix.
   CsrMatrix() = default;
@@ -36,10 +40,24 @@ class CsrMatrix {
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return vals_.size(); }
 
+  /// log2(rows()); throws std::invalid_argument when rows() is not a power
+  /// of two (non-statevector-shaped matrices are fine as plain CSR but not
+  /// as LinearOperators on qubit registers).
+  std::size_t n_qubits() const override;
+  /// Statevector dimension = rows() (overrides the 2^n default).
+  std::size_t dim() const override { return rows_; }
+
+  /// Allocation-returning matrix-vector product A v; O(nnz). The
+  /// two-argument span form comes from LinearOperator.
+  using LinearOperator::apply;
   /// Matrix-vector product A v; O(nnz).
   std::vector<cplx> apply(std::span<const cplx> v) const;
-  /// y += s * (A x)
-  void apply_add(std::span<const cplx> x, std::span<cplx> y, cplx s) const;
+  /// Two-argument accumulate shorthand from the base class.
+  using LinearOperator::apply_add;
+  /// y += s * (A x), parallel over row blocks; x and y must be distinct
+  /// buffers (asserted).
+  void apply_add(std::span<const cplx> x, std::span<cplx> y,
+                 cplx s) const override;
 
   /// Dense copy (verification only).
   Matrix to_dense() const;

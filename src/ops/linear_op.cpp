@@ -1,0 +1,37 @@
+#include "ops/linear_op.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace gecos {
+
+void LinearOperator::apply(std::span<const cplx> x, std::span<cplx> y) const {
+  assert(x.data() != y.data() &&
+         "LinearOperator::apply: x and y must not alias");
+  if (x.size() != y.size() || x.size() != dim())
+    throw std::invalid_argument("LinearOperator::apply: size mismatch");
+  parallel_for(y.size(), [&](std::size_t b, std::size_t e, int) {
+    std::fill(y.begin() + static_cast<std::ptrdiff_t>(b),
+              y.begin() + static_cast<std::ptrdiff_t>(e), cplx(0.0));
+  });
+  apply_add(x, y, cplx(1.0));
+}
+
+void LinearOperator::apply_inplace(std::span<cplx> x,
+                                   std::span<cplx> scratch) const {
+  assert(x.data() != scratch.data() &&
+         "LinearOperator::apply_inplace: scratch must not alias x");
+  if (scratch.size() != x.size())
+    throw std::invalid_argument(
+        "LinearOperator::apply_inplace: scratch size mismatch");
+  apply(x, scratch);
+  parallel_for(x.size(), [&](std::size_t b, std::size_t e, int) {
+    std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(b),
+              scratch.begin() + static_cast<std::ptrdiff_t>(e),
+              x.begin() + static_cast<std::ptrdiff_t>(b));
+  });
+}
+
+}  // namespace gecos

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace gecos {
 
 namespace {
@@ -358,22 +360,33 @@ void PauliSum::prune(double tol) {
   if (cap_ != 0 && occupied_ != live_) grow(live_);  // compact dead slots
 }
 
-void PauliSum::apply(std::span<const cplx> x, std::span<cplx> y) const {
+void PauliSum::apply_add(std::span<const cplx> x, std::span<cplx> y,
+                         cplx scale) const {
   if (empty()) return;  // the zero operator: y += 0 * x for any dimension
   if (num_qubits_ > 63)
-    throw std::invalid_argument("PauliSum::apply: masks need one word");
+    throw std::invalid_argument("PauliSum::apply_add: masks need one word");
   if (x.size() != y.size() || x.size() != (std::size_t{1} << num_qubits_))
-    throw std::invalid_argument("PauliSum::apply: statevector size mismatch");
-  const std::size_t dim = x.size();
-  for_each_raw([&](const std::uint64_t* xw, const std::uint64_t* zw, cplx c) {
-    const std::uint64_t xm = words_ ? xw[0] : 0;
-    const std::uint64_t zm = words_ ? zw[0] : 0;
-    // W(x,z)|s> = i^{pc(x&z)} (-1)^{pc(z&s)} |s^x>.
-    const cplx base = c * packed_phase(std::popcount(xm & zm) & 3);
-    for (std::uint64_t s = 0; s < dim; ++s) {
-      const cplx amp = (std::popcount(zm & s) & 1) ? -base : base;
-      y[s ^ xm] += amp * x[s];
-    }
+    throw std::invalid_argument(
+        "PauliSum::apply_add: statevector size mismatch");
+  assert(x.data() != y.data() && "PauliSum::apply_add: x, y must not alias");
+  // Partition the *output* index o = s ^ xm across threads: each thread owns
+  // a contiguous y range, loops every live term per range and gathers from
+  // x[o ^ xm], so no two threads ever write the same amplitude and the whole
+  // call is one parallel region with zero scratch.
+  parallel_for(x.size(), [&](std::size_t o0, std::size_t o1, int) {
+    for_each_raw(
+        [&](const std::uint64_t* xw, const std::uint64_t* zw, cplx c) {
+          const std::uint64_t xm = words_ ? xw[0] : 0;
+          const std::uint64_t zm = words_ ? zw[0] : 0;
+          // W(x,z)|s> = i^{pc(x&z)} (-1)^{pc(z&s)} |s^x>.
+          const cplx base =
+              c * scale * packed_phase(std::popcount(xm & zm) & 3);
+          for (std::uint64_t o = o0; o < o1; ++o) {
+            const std::uint64_t s = o ^ xm;
+            const cplx amp = (std::popcount(zm & s) & 1) ? -base : base;
+            y[o] += amp * x[s];
+          }
+        });
   });
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "ops/linear_op.hpp"
 #include "ops/packed.hpp"
 #include "ops/scb.hpp"
 
@@ -72,7 +73,7 @@ class PauliString {
 /// added; all strings must share it. Cancelled terms (|coeff| <= tol on add)
 /// stop counting toward size() and are dropped from iteration immediately;
 /// their table slots are reclaimed on the next rehash or prune().
-class PauliSum {
+class PauliSum : public LinearOperator {
  public:
   /// Empty sum; adopts the qubit count of the first string added.
   PauliSum() = default;
@@ -81,6 +82,8 @@ class PauliSum {
 
   /// Qubit count (0 until fixed by construction or first add).
   std::size_t num_qubits() const { return num_qubits_; }
+  /// LinearOperator qubit count (same as num_qubits()).
+  std::size_t n_qubits() const override { return num_qubits_; }
   /// 64-bit words per mask (x or z) of each stored key.
   std::size_t words() const { return words_; }
 
@@ -137,9 +140,15 @@ class PauliSum {
   /// Drops terms with |coeff| <= tol and compacts the table.
   void prune(double tol = 1e-12);
 
-  /// y += H x matrix-free: each term costs O(1) mask ops per basis state,
-  /// no dense to_matrix() materialization. Requires x.size() == 2^n.
-  void apply(std::span<const cplx> x, std::span<cplx> y) const;
+  /// Two-argument accumulate and overwriting apply from the base class.
+  using LinearOperator::apply_add;
+  /// y += scale * H x matrix-free: each term costs O(1) mask ops per basis
+  /// state, no dense to_matrix() materialization. Requires x.size() == 2^n;
+  /// x and y must be distinct buffers (asserted). Parallelized over output
+  /// blocks (each thread owns a y range and reads x[y ^ mask]), one parallel
+  /// region per call and no scratch allocation.
+  void apply_add(std::span<const cplx> x, std::span<cplx> y,
+                 cplx scale) const override;
 
   /// Deterministic " + "-joined text form (sorted_terms order).
   std::string str() const;

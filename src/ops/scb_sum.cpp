@@ -1,5 +1,6 @@
 #include "ops/scb_sum.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -7,6 +8,41 @@
 #include "ops/conversion.hpp"
 
 namespace gecos {
+
+ScbSum::ScbSum(const ScbSum& o) : num_qubits_(o.num_qubits_), terms_(o.terms_) {
+  // Take o's guard: a concurrent const apply_add on o may be rebuilding its
+  // cache while we copy it.
+  std::scoped_lock<std::mutex> lk(o.kernels_mutex_);
+  kernels_ = o.kernels_;
+  kernels_dirty_ = o.kernels_dirty_;
+}
+
+ScbSum& ScbSum::operator=(const ScbSum& o) {
+  if (this == &o) return *this;
+  num_qubits_ = o.num_qubits_;
+  terms_ = o.terms_;
+  std::scoped_lock<std::mutex> lk(o.kernels_mutex_);
+  kernels_ = o.kernels_;
+  kernels_dirty_ = o.kernels_dirty_;
+  return *this;
+}
+
+ScbSum::ScbSum(ScbSum&& o) noexcept
+    : num_qubits_(o.num_qubits_),
+      terms_(std::move(o.terms_)),
+      kernels_(std::move(o.kernels_)),
+      kernels_dirty_(o.kernels_dirty_) {
+  o.kernels_dirty_ = true;
+}
+
+ScbSum& ScbSum::operator=(ScbSum&& o) noexcept {
+  num_qubits_ = o.num_qubits_;
+  terms_ = std::move(o.terms_);
+  kernels_ = std::move(o.kernels_);
+  kernels_dirty_ = o.kernels_dirty_;
+  o.kernels_dirty_ = true;
+  return *this;
+}
 
 void ScbSum::ensure_qubits(std::size_t n) {
   if (num_qubits_ == 0) num_qubits_ = n;
@@ -17,6 +53,7 @@ void ScbSum::ensure_qubits(std::size_t n) {
 void ScbSum::add(const std::vector<Scb>& word, cplx coeff, double tol) {
   if (word.empty()) throw std::invalid_argument("ScbSum: empty word");
   ensure_qubits(word.size());
+  kernels_dirty_ = true;
   auto it = terms_.find(word);
   if (it == terms_.end()) {
     if (std::abs(coeff) > tol) terms_.emplace(word, coeff);
@@ -56,7 +93,7 @@ ScbSum ScbSum::operator-(const ScbSum& o) const {
 }
 
 ScbSum ScbSum::operator*(cplx s) const {
-  ScbSum r(num_qubits_);
+  ScbSum r(num_qubits_);  // kernels_dirty_ starts true on the fresh sum
   if (s == cplx(0.0)) return r;
   r.terms_ = terms_;
   for (auto& [word, c] : r.terms_) c *= s;
@@ -114,6 +151,7 @@ double ScbSum::one_norm() const {
 }
 
 void ScbSum::prune(double tol) {
+  kernels_dirty_ = true;
   for (auto it = terms_.begin(); it != terms_.end();)
     it = std::abs(it->second) <= tol ? terms_.erase(it) : std::next(it);
 }
@@ -140,9 +178,22 @@ Matrix ScbSum::to_matrix() const {
   return m;
 }
 
-void ScbSum::apply(std::span<const cplx> x, std::span<cplx> y) const {
-  for (const auto& [word, c] : terms_)
-    TermKernel(ScbTerm(c, word, false)).apply(x, y);
+void ScbSum::apply_add(std::span<const cplx> x, std::span<cplx> y,
+                       cplx scale) const {
+  assert(x.data() != y.data() && "ScbSum::apply_add: x, y must not alias");
+  {
+    // Guarded rebuild: several threads may share this sum const-ly (e.g.
+    // expectation values from a measurement pool); only one rebuilds.
+    std::scoped_lock<std::mutex> lk(kernels_mutex_);
+    if (kernels_dirty_) {
+      kernels_.clear();
+      kernels_.reserve(terms_.size());
+      for (const auto& [word, c] : terms_)
+        kernels_.emplace_back(ScbTerm(c, word, false));
+      kernels_dirty_ = false;
+    }
+  }
+  for (const TermKernel& k : kernels_) k.apply_add(x, y, scale);
 }
 
 std::string ScbSum::str() const {

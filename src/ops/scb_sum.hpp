@@ -16,11 +16,13 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "ops/linear_op.hpp"
 #include "ops/pauli.hpp"
 #include "ops/scb.hpp"
 #include "ops/term.hpp"
@@ -32,15 +34,23 @@ namespace gecos {
 /// the first word added; all words must share it. Deterministic iteration
 /// (std::map over words); sizes stay polynomial for the workloads this layer
 /// targets, so no packed representation is needed.
-class ScbSum {
+class ScbSum : public LinearOperator {
  public:
   /// Empty sum; adopts the qubit count of the first word added.
   ScbSum() = default;
   /// Empty sum with a fixed qubit count.
   explicit ScbSum(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+  /// Copies/moves transfer terms and the compiled-kernel cache but never
+  /// share the cache guard (each sum owns a fresh mutex).
+  ScbSum(const ScbSum& o);
+  ScbSum& operator=(const ScbSum& o);
+  ScbSum(ScbSum&& o) noexcept;
+  ScbSum& operator=(ScbSum&& o) noexcept;
 
   /// Qubit count (0 until fixed by construction or first add).
   std::size_t num_qubits() const { return num_qubits_; }
+  /// LinearOperator qubit count (same as num_qubits()).
+  std::size_t n_qubits() const override { return num_qubits_; }
   /// Number of live terms (words with |coeff| above the add tolerance).
   std::size_t size() const { return terms_.size(); }
   bool empty() const { return terms_.empty(); }
@@ -93,8 +103,17 @@ class ScbSum {
   /// Dense 2^n x 2^n matrix (verification only).
   Matrix to_matrix() const;
 
-  /// y += A x matrix-free via one TermKernel per term (x.size() == 2^n).
-  void apply(std::span<const cplx> x, std::span<cplx> y) const;
+  /// Two-argument accumulate and overwriting apply from the base class.
+  using LinearOperator::apply_add;
+  /// y += scale * A x matrix-free via one TermKernel per term
+  /// (x.size() == 2^n; x and y distinct buffers, asserted). The compiled
+  /// kernels are cached between calls and rebuilt only after a mutation, so
+  /// repeated application (the evolution loop, expectation values) does no
+  /// per-call allocation; the rebuild is mutex-guarded, so concurrent
+  /// apply_add/expectation on a shared *const* sum is safe (mutating
+  /// concurrently with application is not, as usual).
+  void apply_add(std::span<const cplx> x, std::span<cplx> y,
+                 cplx scale) const override;
 
   /// Deterministic " + "-joined text form ("0" for the empty sum).
   std::string str() const;
@@ -104,6 +123,13 @@ class ScbSum {
 
   std::size_t num_qubits_ = 0;
   std::map<std::vector<Scb>, cplx> terms_;
+  // Compiled per-term kernels, (re)built lazily by apply_add after any
+  // mutation of terms_; mutable because caching does not change the value.
+  // kernels_mutex_ guards the rebuild so concurrent const application is
+  // safe; it is never copied (see the copy/move members).
+  mutable std::vector<TermKernel> kernels_;
+  mutable bool kernels_dirty_ = true;
+  mutable std::mutex kernels_mutex_;
 };
 
 /// Scalar-from-the-left product s * m.

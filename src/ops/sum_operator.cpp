@@ -1,0 +1,23 @@
+#include "ops/sum_operator.hpp"
+
+#include <stdexcept>
+
+namespace gecos {
+
+void SumOperator::add(std::shared_ptr<const LinearOperator> op, cplx coeff) {
+  if (!op) throw std::invalid_argument("SumOperator::add: null operator");
+  const std::size_t n = op->n_qubits();
+  if (num_qubits_ == 0) num_qubits_ = n;
+  if (num_qubits_ != n)
+    throw std::invalid_argument("SumOperator::add: mixed qubit counts");
+  parts_.emplace_back(coeff, std::move(op));
+}
+
+void SumOperator::apply_add(std::span<const cplx> x, std::span<cplx> y,
+                            cplx scale) const {
+  assert(x.data() != y.data() &&
+         "SumOperator::apply_add: x, y must not alias");
+  for (const auto& [c, op] : parts_) op->apply_add(x, y, scale * c);
+}
+
+}  // namespace gecos

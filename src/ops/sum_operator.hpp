@@ -1,0 +1,47 @@
+// SumOperator: a complex combination of arbitrary LinearOperators.
+//
+// The generic counterpart of the representation-specific sums: where ScbSum
+// adds SCB words and PauliSum adds Pauli strings, a SumOperator adds whole
+// operators — mixing representations freely (an ScbSum hopping block plus a
+// CsrMatrix potential, say) behind the one LinearOperator interface. apply_add
+// just forwards to each part with the coefficient folded into the scale, so
+// the sum inherits every part's matrix-free kernel and parallelism without a
+// scratch buffer of its own.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ops/linear_op.hpp"
+
+namespace gecos {
+
+/// sum_i coeff_i * op_i over shared-ownership LinearOperators.
+class SumOperator : public LinearOperator {
+ public:
+  /// Empty sum; adopts the qubit count of the first operator added.
+  SumOperator() = default;
+
+  /// Appends coeff * op. Throws on a null operator or a qubit-count
+  /// mismatch with the parts already added.
+  void add(std::shared_ptr<const LinearOperator> op, cplx coeff = cplx(1.0));
+
+  /// Number of parts.
+  std::size_t size() const { return parts_.size(); }
+  /// Qubit count (0 until the first add).
+  std::size_t n_qubits() const override { return num_qubits_; }
+
+  /// Two-argument accumulate shorthand from the base class.
+  using LinearOperator::apply_add;
+  /// y += scale * sum_i coeff_i * (op_i x): one apply_add per part with the
+  /// coefficient folded into the scale — no intermediate buffers.
+  void apply_add(std::span<const cplx> x, std::span<cplx> y,
+                 cplx scale) const override;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<std::pair<cplx, std::shared_ptr<const LinearOperator>>> parts_;
+};
+
+}  // namespace gecos

@@ -6,6 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/bits.hpp"
+#include "util/parallel.hpp"
+
 namespace gecos {
 
 ScbTerm::ScbTerm(cplx coeff, std::vector<Scb> ops, bool add_hc)
@@ -147,7 +150,8 @@ std::string ScbTerm::str() const {
   return os.str();
 }
 
-TermKernel::TermKernel(const ScbTerm& term) : base(term.coeff()) {
+TermKernel::TermKernel(const ScbTerm& term)
+    : base(term.coeff()), num_qubits(term.num_qubits()) {
   const cplx i(0.0, 1.0);
   for (std::size_t q = 0; q < term.num_qubits(); ++q) {
     const std::uint64_t bit = std::uint64_t{1} << q;
@@ -175,27 +179,35 @@ TermKernel::TermKernel(const ScbTerm& term) : base(term.coeff()) {
   }
 }
 
-void TermKernel::apply(std::span<const cplx> x, std::span<cplx> y) const {
+void TermKernel::apply_add(std::span<const cplx> x, std::span<cplx> y,
+                           cplx scale) const {
   assert(x.size() == y.size());
   assert(std::has_single_bit(x.size()));
+  assert(x.data() != y.data() && "TermKernel: x and y must not alias");
   // Walk only the selected states: s = sub | select_val with sub ranging over
   // subsets of the unconstrained bits (the standard (sub - free) & free trick
-  // enumerates them in ascending order).
+  // enumerates them in ascending order). Chunks seed their local walk with
+  // scatter_bits; within one term s -> s ^ flip is a bijection, so chunks of
+  // distinct s never write the same y amplitude and the loop is race-free.
   const std::uint64_t free_mask = (x.size() - 1) & ~select_mask;
   if ((select_val & ~(x.size() - 1)) != 0) return;  // selection out of range
-  std::uint64_t sub = 0;
-  while (true) {
-    const std::uint64_t s = sub | select_val;
-    const cplx amp = (std::popcount(sign_mask & s) & 1) ? -base : base;
-    y[s ^ flip] += amp * x[s];
-    if (sub == free_mask) break;
-    sub = (sub - free_mask) & free_mask;
-  }
+  const cplx b = base * scale;
+  const std::size_t count = std::size_t{1}
+                            << std::popcount(free_mask);
+  parallel_for(count, [&](std::size_t i0, std::size_t i1, int) {
+    std::uint64_t sub = scatter_bits(i0, free_mask);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::uint64_t s = sub | select_val;
+      const cplx amp = (std::popcount(sign_mask & s) & 1) ? -b : b;
+      y[s ^ flip] += amp * x[s];
+      sub = (sub - free_mask) & free_mask;
+    }
+  });
 }
 
-void ScbTerm::apply(std::span<const cplx> x, std::span<cplx> y) const {
-  TermKernel(*this).apply(x, y);
-  if (add_hc_) TermKernel(adjoint()).apply(x, y);
+void ScbTerm::apply_add(std::span<const cplx> x, std::span<cplx> y) const {
+  TermKernel(*this).apply_add(x, y);
+  if (add_hc_) TermKernel(adjoint()).apply_add(x, y);
 }
 
 Matrix terms_matrix(const std::vector<ScbTerm>& terms, std::size_t num_qubits) {
@@ -211,7 +223,8 @@ Matrix terms_matrix(const std::vector<ScbTerm>& terms, std::size_t num_qubits) {
 void apply_terms(const std::vector<ScbTerm>& terms, std::span<const cplx> x,
                  std::span<cplx> y) {
   assert(x.size() == y.size());
-  for (const ScbTerm& t : terms) t.apply(x, y);
+  assert(x.data() != y.data() && "apply_terms: x and y must not alias");
+  for (const ScbTerm& t : terms) t.apply_add(x, y);
 }
 
 double terms_one_norm_bound(const std::vector<ScbTerm>& terms) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "ops/linear_op.hpp"
 #include "ops/scb.hpp"
 
 namespace gecos {
@@ -83,8 +84,9 @@ class ScbTerm {
   cplx bare_amplitude(std::uint64_t x) const;
 
   /// y += H x matrix-free for this term's Hermitian operator (bare product
-  /// plus its h.c. when add_hc), via TermKernel. x.size() must be 2^n.
-  void apply(std::span<const cplx> x, std::span<cplx> y) const;
+  /// plus its h.c. when add_hc), via TermKernel. x.size() must be 2^n and x
+  /// and y must be distinct buffers (asserted).
+  void apply_add(std::span<const cplx> x, std::span<cplx> y) const;
 
   /// Human-readable form "(coeff) op op ... [+ h.c.]", paper order.
   std::string str() const;
@@ -101,28 +103,37 @@ class ScbTerm {
 /// value or not, so <y| A |x> collapses to four masks and one complex base:
 /// the amplitude is base * (-1)^{pc(sign_mask & x)} on states with
 /// (x & select_mask) == select_val and target y = x ^ flip, zero elsewhere.
-/// apply() walks only the 2^(n-k) selected states (k = #projector/transition
-/// factors) instead of testing all 2^n per-qubit products like the legacy
-/// bare_amplitude loop.
-struct TermKernel {
+/// apply_add() walks only the 2^(n-k) selected states (k = #projector/
+/// transition factors) instead of testing all 2^n per-qubit products like
+/// the legacy bare_amplitude loop, parallelized over chunks of the walk.
+struct TermKernel : public LinearOperator {
   std::uint64_t flip = 0;         // X/Y/s/s+ positions (computational flips)
   std::uint64_t select_mask = 0;  // n/m/s/s+ positions (constrained inputs)
   std::uint64_t select_val = 0;   // required input bits under select_mask
   std::uint64_t sign_mask = 0;    // Y/Z positions ((-1)^{x_q} factors)
   cplx base;                      // coeff * i^{#Y}
+  std::size_t num_qubits = 0;     // qubit count of the compiled term
 
   /// Compiles the bare product of `term` (h.c. flag ignored); O(n).
   explicit TermKernel(const ScbTerm& term);
 
-  /// y += A x for the bare product only (no h.c.).
-  void apply(std::span<const cplx> x, std::span<cplx> y) const;
+  /// Qubit count of the compiled term.
+  std::size_t n_qubits() const override { return num_qubits; }
+
+  /// Two-argument accumulate shorthand from the base class.
+  using LinearOperator::apply_add;
+  /// y += scale * A x for the bare product only (no h.c.); x and y must be
+  /// distinct buffers (asserted).
+  void apply_add(std::span<const cplx> x, std::span<cplx> y,
+                 cplx scale) const override;
 };
 
 /// Hermitian matrix of a sum of terms (for verification).
 Matrix terms_matrix(const std::vector<ScbTerm>& terms, std::size_t num_qubits);
 
 /// y += H x where H is the Hermitian sum of the given terms (matrix-free;
-/// each term touches every basis state once).
+/// each term touches every basis state once). x and y must be distinct
+/// buffers (asserted).
 void apply_terms(const std::vector<ScbTerm>& terms,
                  std::span<const cplx> x, std::span<cplx> y);
 

@@ -1,0 +1,73 @@
+#include "state/state_vector.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace gecos {
+
+StateVector::StateVector(std::size_t n_qubits) : n_(n_qubits) {
+  if (n_qubits < 1 || n_qubits > 30)
+    throw std::invalid_argument("StateVector: need 1 <= n_qubits <= 30");
+  data_.assign(std::size_t{1} << n_qubits, cplx(0.0));
+  data_[0] = cplx(1.0);
+}
+
+StateVector StateVector::basis(std::size_t n_qubits, std::uint64_t index) {
+  StateVector s(n_qubits);
+  if (index >= s.dim())
+    throw std::invalid_argument("StateVector::basis: index out of range");
+  s.data_[0] = cplx(0.0);
+  s.data_[index] = cplx(1.0);
+  return s;
+}
+
+StateVector StateVector::product(std::size_t n_qubits, std::uint64_t bits) {
+  return basis(n_qubits, bits);
+}
+
+StateVector StateVector::random(std::size_t n_qubits, std::uint64_t seed) {
+  StateVector s(n_qubits);
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
+  std::normal_distribution<double> g;
+  for (cplx& a : s.data_) a = cplx(g(rng), g(rng));
+  s.normalize();
+  return s;
+}
+
+double StateVector::norm() const { return vec_norm(data_); }
+
+void StateVector::normalize() {
+  const double n = norm();
+  if (n == 0.0)
+    throw std::invalid_argument("StateVector::normalize: zero vector");
+  vec_scale(amps(), cplx(1.0 / n));
+}
+
+cplx StateVector::inner(const StateVector& o) const {
+  if (dim() != o.dim())
+    throw std::invalid_argument("StateVector::inner: size mismatch");
+  return vec_dot(data_, o.data_);
+}
+
+double StateVector::max_abs_diff(const StateVector& o) const {
+  if (dim() != o.dim())
+    throw std::invalid_argument("StateVector::max_abs_diff: size mismatch");
+  return vec_max_abs_diff(data_, o.data_);
+}
+
+AlignedVec& StateVector::scratch() const {
+  if (scratch_.size() != data_.size()) scratch_.resize(data_.size());
+  return scratch_;
+}
+
+void StateVector::apply(const LinearOperator& op) {
+  op.apply_inplace(amps(), scratch());
+}
+
+cplx StateVector::expectation(const LinearOperator& op) const {
+  AlignedVec& s = scratch();
+  op.apply(data_, s);
+  return vec_dot(data_, s);
+}
+
+}  // namespace gecos

@@ -1,0 +1,37 @@
+// Bit-scatter helper for chunking the selected-state walks.
+//
+// The matrix-free SCB kernels enumerate the 2^f subsets of a free-bit mask
+// with the classic `sub = (sub - mask) & mask` successor, which is inherently
+// sequential. scatter_bits gives random access into that enumeration: the
+// k-th subset (in the successor's ascending order) is scatter_bits(k, mask),
+// so a parallel chunk [k0, k1) seeds its local walk with scatter_bits(k0,
+// mask) and then runs the cheap successor within the chunk.
+#pragma once
+
+#include <cstdint>
+
+#ifdef __BMI2__
+#include <immintrin.h>
+#endif
+
+namespace gecos {
+
+/// Deposits the low bits of idx into the set bits of mask, lowest first
+/// (x86 PDEP; portable loop elsewhere). scatter_bits(k, mask) is the k-th
+/// subset of mask in ascending numeric order.
+inline std::uint64_t scatter_bits(std::uint64_t idx, std::uint64_t mask) {
+#ifdef __BMI2__
+  return _pdep_u64(idx, mask);
+#else
+  std::uint64_t out = 0;
+  while (mask != 0) {
+    const std::uint64_t low = mask & (~mask + 1);
+    if (idx & 1) out |= low;
+    idx >>= 1;
+    mask ^= low;
+  }
+  return out;
+#endif
+}
+
+}  // namespace gecos

@@ -1,0 +1,84 @@
+// Shared-memory parallelism for the statevector kernels.
+//
+// gecos::parallel_for splits an index range into one contiguous chunk per
+// worker and runs the chunks on a lazily-started persistent std::thread pool
+// (no per-call thread spawn on the hot path). The worker count is a runtime
+// knob: the GECOS_THREADS environment variable sets the initial value,
+// set_num_threads() overrides it, and bench_main exposes it as --threads.
+// Small ranges (below kParallelGrain) and num_threads() == 1 run inline on
+// the calling thread, so single-threaded behavior is exactly the serial
+// loop. The dispatch path is allocation-free: the callable is passed to the
+// pool as a function pointer + context, never wrapped in std::function, so
+// tight evolution loops (Trotter stepping, expectation values) allocate
+// nothing per call.
+//
+// Callers are responsible for making chunk bodies race-free: every kernel in
+// this library partitions its *output* indices (or a bijective relabeling of
+// them) across chunks so no two chunks ever write the same amplitude. See
+// DESIGN.md "Threading model".
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace gecos {
+
+/// Ranges smaller than this run inline; parallelism only pays for itself on
+/// statevector-sized loops.
+inline constexpr std::size_t kParallelGrain = std::size_t{1} << 13;
+
+/// Upper bound on chunks per parallel_for call (and thus on the chunk id
+/// passed to bodies), so reduction callers can keep per-chunk partials in a
+/// fixed-size stack array.
+inline constexpr int kMaxParallelChunks = 256;
+
+/// Current worker-count setting (>= 1). First call reads GECOS_THREADS; an
+/// unset/invalid variable defaults to std::thread::hardware_concurrency().
+int num_threads();
+
+/// Overrides the worker count (clamped to >= 1). Existing pool workers are
+/// retired and restarted lazily at the next parallel_for.
+void set_num_threads(int k);
+
+namespace detail {
+
+/// Type-erased chunk body: fn(ctx, begin, end, chunk).
+using RawBody = void (*)(void*, std::size_t, std::size_t, int);
+
+/// Dispatches chunks 1..chunks-1 to the pool, runs chunk 0 on the caller,
+/// blocks until all chunks complete.
+void pool_run(std::size_t n, int chunks, RawBody fn, void* ctx);
+
+/// True on pool worker threads (nested parallel_for degrades to serial).
+bool on_worker_thread();
+
+}  // namespace detail
+
+/// Runs body(begin, end, chunk) over [0, n) split into at most
+/// min(num_threads(), kMaxParallelChunks) contiguous chunks; chunk ids are
+/// dense in [0, chunks). Blocks until every chunk is done (bodies must not
+/// throw). Serial fallback — a single inline body(0, n, 0) call — when n <
+/// grain, num_threads() == 1, or already inside a pool worker. Safe to call
+/// from several application threads at once: concurrent dispatches
+/// serialize on the shared pool (they do not run simultaneously).
+template <typename F>
+void parallel_for(std::size_t n, F&& body,  // NOLINT: see doc above template
+                  std::size_t grain = kParallelGrain) {
+  if (n == 0) return;
+  const int t = num_threads();
+  if (t <= 1 || n < grain || detail::on_worker_thread()) {
+    body(std::size_t{0}, n, 0);
+    return;
+  }
+  int chunks = t < kMaxParallelChunks ? t : kMaxParallelChunks;
+  if (static_cast<std::size_t>(chunks) > n) chunks = static_cast<int>(n);
+  using Body = std::remove_reference_t<F>;
+  detail::pool_run(
+      n, chunks,
+      [](void* ctx, std::size_t b, std::size_t e, int c) {
+        (*static_cast<Body*>(ctx))(b, e, c);
+      },
+      const_cast<void*>(static_cast<const void*>(&body)));
+}
+
+}  // namespace gecos

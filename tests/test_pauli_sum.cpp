@@ -131,7 +131,7 @@ int main() {
     CHECK_EQ(scaled.size(), std::size_t{1});
     const PauliSum zero;
     std::vector<cplx> x(8, cplx(1.0)), y(8, cplx(0.5));
-    zero.apply(x, y);  // no-op, any dimension
+    zero.apply_add(x, y);  // no-op, any dimension
     CHECK_NEAR(y[0] - cplx(0.5), 0.0, 0.0);
   }
 
@@ -209,8 +209,8 @@ int main() {
     const std::vector<cplx> expect = a.to_matrix(n).apply(x);
     CHECK_NEAR(vec_max_abs_diff(y, expect), 0.0, 1e-12);
 
-    // apply accumulates: a second call doubles the result.
-    a.apply(x, y);
+    // apply_add accumulates: a second call doubles the result.
+    a.apply_add(x, y);
     for (auto& v : y) v *= 0.5;
     CHECK_NEAR(vec_max_abs_diff(y, expect), 0.0, 1e-12);
   }

@@ -62,7 +62,7 @@ int main() {
     const ScbTerm t = random_term(n, rng, it % 2 == 0);
     std::vector<cplx> x = random_state(dim, rng);
     std::vector<cplx> y(dim, cplx(0.0));
-    t.apply(x, y);
+    t.apply_add(x, y);
     const std::vector<cplx> expect = t.hamiltonian_matrix().apply(x);
     CHECK_NEAR(vec_max_abs_diff(y, expect), 0.0, 1e-12);
   }
