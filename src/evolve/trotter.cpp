@@ -102,10 +102,13 @@ void TermExp::apply(double t, std::span<cplx> x) const {
   });
 }
 
-TrotterEvolver::TrotterEvolver(const ScbSum& h, double tol) {
+TrotterEvolver::TrotterEvolver(const ScbSum& h, double tol, int order)
+    : order_(order) {
   n_ = h.num_qubits();
   if (n_ == 0)
     throw std::invalid_argument("TrotterEvolver: empty Hamiltonian");
+  if (order != 1 && order != 2)
+    throw std::invalid_argument("TrotterEvolver: order must be 1 or 2");
   const std::vector<ScbTerm> terms = h.hermitian_terms(tol);
   exps_.reserve(terms.size());
   for (const ScbTerm& t : terms) exps_.emplace_back(t);

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "evolve/evolver.hpp"
 #include "ops/scb_sum.hpp"
 #include "ops/term.hpp"
 #include "state/state_vector.hpp"
@@ -48,32 +49,43 @@ class TermExp {
   cplx h0_;                  // off-diagonal: block coupling h(s) = sgn(s)*h0
 };
 
-/// Product-formula propagator for a Hermitian ScbSum.
-class TrotterEvolver {
+/// Product-formula propagator for a Hermitian ScbSum (an Evolver, so quench
+/// workloads can swap it against the Krylov integrator).
+class TrotterEvolver : public Evolver {
  public:
   /// Gathers h.hermitian_terms(tol) (throws if the sum is not Hermitian)
-  /// and compiles one TermExp per term.
-  explicit TrotterEvolver(const ScbSum& h, double tol = 1e-12);
+  /// and compiles one TermExp per term. `order` (1 or 2) is the
+  /// product-formula order used by the two-argument Evolver entry points.
+  explicit TrotterEvolver(const ScbSum& h, double tol = 1e-12, int order = 2);
 
   /// Qubit count and number of compiled term exponentials.
-  std::size_t n_qubits() const { return n_; }
+  std::size_t n_qubits() const override { return n_; }
   std::size_t num_terms() const { return exps_.size(); }
+
+  /// Evolver step at the configured default order.
+  void step(std::span<cplx> x, double dt) const override {
+    step(x, dt, order_);
+  }
+  /// StateVector / evolve entry points of the Evolver base.
+  using Evolver::evolve;
+  using Evolver::step;
 
   /// One Trotter step x <- U(dt) x in place. order 1: prod_t exp(-i dt H_t);
   /// order 2 (Strang): forward half-sweep then reverse half-sweep, error
   /// O(dt^3) per step. Throws on any other order.
-  void step(std::span<cplx> x, double dt, int order = 2) const;
-  /// StateVector overload of step().
-  void step(StateVector& x, double dt, int order = 2) const;
+  void step(std::span<cplx> x, double dt, int order) const;
+  /// StateVector overload of the explicit-order step().
+  void step(StateVector& x, double dt, int order) const;
 
   /// steps equal Trotter steps of size t / steps: x <- U(dt)^steps x.
   /// Global error O(dt) for order 1, O(dt^2) for order 2.
-  void evolve(std::span<cplx> x, double t, int steps, int order = 2) const;
-  /// StateVector overload of evolve().
-  void evolve(StateVector& x, double t, int steps, int order = 2) const;
+  void evolve(std::span<cplx> x, double t, int steps, int order) const;
+  /// StateVector overload of the explicit-order evolve().
+  void evolve(StateVector& x, double t, int steps, int order) const;
 
  private:
   std::size_t n_ = 0;
+  int order_ = 2;
   std::vector<TermExp> exps_;
 };
 

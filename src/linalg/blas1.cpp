@@ -1,0 +1,96 @@
+#include "linalg/blas1.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "util/parallel.hpp"
+
+namespace gecos {
+
+double vec_norm(std::span<const cplx> v) {
+  // Parallel reduction: per-chunk stack partials (chunk ids are bounded by
+  // kMaxParallelChunks) combined in chunk order, so the result is
+  // deterministic for a fixed thread count and the call allocation-free.
+  std::array<double, kMaxParallelChunks> partial{};
+  parallel_for(v.size(), [&](std::size_t b, std::size_t e, int chunk) {
+    double s = 0;
+    for (std::size_t i = b; i < e; ++i) s += std::norm(v[i]);
+    partial[static_cast<std::size_t>(chunk)] = s;
+  });
+  double s = 0;
+  for (double p : partial) s += p;
+  return std::sqrt(s);
+}
+
+cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b) {
+  assert(a.size() == b.size());
+  std::array<cplx, kMaxParallelChunks> partial{};
+  parallel_for(a.size(), [&](std::size_t b0, std::size_t e, int chunk) {
+    cplx s = 0;
+    for (std::size_t i = b0; i < e; ++i) s += std::conj(a[i]) * b[i];
+    partial[static_cast<std::size_t>(chunk)] = s;
+  });
+  cplx s = 0;
+  for (const cplx& p : partial) s += p;
+  return s;
+}
+
+double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b) {
+  assert(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s = std::max(s, std::abs(a[i] - b[i]));
+  return s;
+}
+
+void vec_scale(std::span<cplx> v, cplx s) {
+  parallel_for(v.size(), [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) v[i] *= s;
+  });
+}
+
+void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x) {
+  assert(y.size() == x.size());
+  parallel_for(y.size(), [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) y[i] += s * x[i];
+  });
+}
+
+void vec_copy(std::span<cplx> dst, std::span<const cplx> src) {
+  assert(dst.size() == src.size());
+  parallel_for(dst.size(), [&](std::size_t b, std::size_t e, int) {
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(b),
+              src.begin() + static_cast<std::ptrdiff_t>(e),
+              dst.begin() + static_cast<std::ptrdiff_t>(b));
+  });
+}
+
+void vec_fill(std::span<cplx> v, cplx s) {
+  parallel_for(v.size(), [&](std::size_t b, std::size_t e, int) {
+    std::fill(v.begin() + static_cast<std::ptrdiff_t>(b),
+              v.begin() + static_cast<std::ptrdiff_t>(e), s);
+  });
+}
+
+std::vector<cplx> random_state(std::size_t dim, std::mt19937& rng) {
+  std::normal_distribution<double> g;
+  std::vector<cplx> v(dim);
+  for (auto& x : v) x = cplx(g(rng), g(rng));
+  const double n = vec_norm(v);
+  for (auto& x : v) x /= n;
+  return v;
+}
+
+double vec_diff_up_to_phase(std::span<const cplx> a, std::span<const cplx> b) {
+  // Optimal global phase aligns <a|b> to the positive real axis.
+  const cplx d = vec_dot(a, b);
+  const cplx phase = std::abs(d) > 1e-300 ? d / std::abs(d) : cplx(1.0);
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s = std::max(s, std::abs(a[i] * phase - b[i]));
+  return s;
+}
+
+}  // namespace gecos

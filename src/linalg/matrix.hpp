@@ -120,19 +120,7 @@ Matrix operator*(cplx s, const Matrix& m);
 /// Kronecker product of a list, left-to-right: ops[0] (x) ops[1] (x) ...
 Matrix kron_all(std::span<const Matrix> ops);
 
-// -- vector helpers (statevectors are plain std::vector<cplx>) --------------
-
-/// Euclidean norm ||v||_2.
-double vec_norm(std::span<const cplx> v);
-cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b);  // <a|b>
-/// Max |a_i - b_i| (sizes must match).
-double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b);
-/// v *= s in place.
-void vec_scale(std::span<cplx> v, cplx s);
-/// y += s * x
-void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x);
-std::vector<cplx> random_state(std::size_t dim, std::mt19937& rng);
-/// Max |a_i - e^{i phi} b_i| minimized over a global phase phi.
-double vec_diff_up_to_phase(std::span<const cplx> a, std::span<const cplx> b);
+// The vec_norm/vec_dot/vec_axpy family of statevector kernels lives in
+// linalg/blas1.hpp (one shared parallel implementation).
 
 }  // namespace gecos

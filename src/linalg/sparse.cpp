@@ -1,4 +1,5 @@
 #include "linalg/sparse.hpp"
+#include "linalg/blas1.hpp"
 
 #include <algorithm>
 #include <bit>

@@ -1,0 +1,185 @@
+#include "linalg/sym_eig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace gecos {
+
+namespace {
+
+/// Sorts ws.d ascending and permutes the columns of ws.z to match, using
+/// ws.tmp as scratch (insertion sort: m is small and the Ritz values of a
+/// converging Krylov run arrive nearly sorted).
+void sort_pairs(std::size_t m, SymEigWorkspace& ws) {
+  for (std::size_t i = 1; i < m; ++i) {
+    const double di = ws.d[i];
+    for (std::size_t r = 0; r < m; ++r) ws.tmp[r] = ws.z[r * m + i];
+    std::size_t j = i;
+    while (j > 0 && ws.d[j - 1] > di) {
+      ws.d[j] = ws.d[j - 1];
+      for (std::size_t r = 0; r < m; ++r) ws.z[r * m + j] = ws.z[r * m + j - 1];
+      --j;
+    }
+    ws.d[j] = di;
+    for (std::size_t r = 0; r < m; ++r) ws.z[r * m + j] = ws.tmp[r];
+  }
+}
+
+}  // namespace
+
+void SymEigWorkspace::reserve(std::size_t m) {
+  if (a.size() < m * m) a.resize(m * m);
+  if (z.size() < m * m) z.resize(m * m);
+  if (d.size() < m) d.resize(m);
+  if (e.size() < m) e.resize(m);
+  if (tmp.size() < 2 * m) tmp.resize(2 * m);
+}
+
+void eigh_sym(std::span<const double> a, std::size_t m, SymEigWorkspace& ws) {
+  assert(a.size() >= m * m);
+  ws.reserve(m);
+  std::copy(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(m * m),
+            ws.a.begin());
+  std::fill(ws.z.begin(), ws.z.begin() + static_cast<std::ptrdiff_t>(m * m),
+            0.0);
+  for (std::size_t i = 0; i < m; ++i) ws.z[i * m + i] = 1.0;
+  double* w = ws.a.data();
+
+  double frob = 0;
+  for (std::size_t i = 0; i < m * m; ++i) frob += w[i] * w[i];
+  frob = std::sqrt(frob);
+  const double tol = 1e-15 * std::max(frob, 1e-300);
+
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (std::size_t p = 0; p < m; ++p)
+      for (std::size_t q = p + 1; q < m; ++q) off += 2 * w[p * m + q] * w[p * m + q];
+    if (std::sqrt(off) <= tol) break;
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) {
+        const double apq = w[p * m + q];
+        if (std::abs(apq) <= 1e-300) continue;
+        // Classic Jacobi rotation annihilating the (p, q) entry.
+        const double theta = (w[q * m + q] - w[p * m + p]) / (2 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t r = 0; r < m; ++r) {
+          const double arp = w[r * m + p], arq = w[r * m + q];
+          w[r * m + p] = c * arp - s * arq;
+          w[r * m + q] = s * arp + c * arq;
+        }
+        for (std::size_t cidx = 0; cidx < m; ++cidx) {
+          const double apr = w[p * m + cidx], aqr = w[q * m + cidx];
+          w[p * m + cidx] = c * apr - s * aqr;
+          w[q * m + cidx] = s * apr + c * aqr;
+        }
+        for (std::size_t r = 0; r < m; ++r) {
+          const double zrp = ws.z[r * m + p], zrq = ws.z[r * m + q];
+          ws.z[r * m + p] = c * zrp - s * zrq;
+          ws.z[r * m + q] = s * zrp + c * zrq;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) ws.d[i] = w[i * m + i];
+  sort_pairs(m, ws);
+}
+
+void eigh_tridiag(std::span<const double> alpha, std::span<const double> beta,
+                  std::size_t m, SymEigWorkspace& ws) {
+  assert(alpha.size() >= m && (m == 0 || beta.size() >= m - 1));
+  ws.reserve(m);
+  if (m == 0) return;
+  std::copy(alpha.begin(), alpha.begin() + static_cast<std::ptrdiff_t>(m),
+            ws.d.begin());
+  if (m > 1)
+    std::copy(beta.begin(), beta.begin() + static_cast<std::ptrdiff_t>(m - 1),
+              ws.e.begin());
+  ws.e[m - 1] = 0.0;
+  std::fill(ws.z.begin(), ws.z.begin() + static_cast<std::ptrdiff_t>(m * m),
+            0.0);
+  for (std::size_t i = 0; i < m; ++i) ws.z[i * m + i] = 1.0;
+  double* d = ws.d.data();
+  double* e = ws.e.data();
+
+  // Implicit-shift QL: for each leading index l, chase the off-diagonal to
+  // zero with Givens rotations driven by a Wilkinson-style shift, then
+  // deflate. The rotation product is accumulated into ws.z.
+  for (std::size_t l = 0; l < m; ++l) {
+    for (int iter = 0;; ++iter) {
+      std::size_t split = l;
+      while (split + 1 < m) {
+        const double dd = std::abs(d[split]) + std::abs(d[split + 1]);
+        if (std::abs(e[split]) <= 1e-16 * dd) break;
+        ++split;
+      }
+      if (split == l) break;
+      if (iter >= 50)
+        throw std::runtime_error("eigh_tridiag: QL failed to converge");
+      // Shift from the 2x2 trailing block at l.
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[split] - d[l] + e[l] / (g + (g >= 0 ? std::abs(r) : -std::abs(r)));
+      double s = 1.0, c = 1.0, p = 0.0;
+      bool underflow = false;  // rotation chain hit an exact zero: re-split
+      for (std::size_t i = split; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[split] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        for (std::size_t k = 0; k < m; ++k) {
+          f = ws.z[k * m + i + 1];
+          ws.z[k * m + i + 1] = s * ws.z[k * m + i] + c * f;
+          ws.z[k * m + i] = c * ws.z[k * m + i] - s * f;
+        }
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[split] = 0.0;
+    }
+  }
+  sort_pairs(m, ws);
+}
+
+void expm_tridiag_e1(std::span<const double> alpha,
+                     std::span<const double> beta, std::size_t m, cplx z,
+                     std::span<cplx> out, SymEigWorkspace& ws) {
+  assert(out.size() >= m);
+  eigh_tridiag(alpha, beta, m, ws);
+  // out_k = sum_j Z_kj exp(z d_j) Z_0j; the weights exp(z d_j) Z_0j are
+  // staged in ws.tmp (reserved at 2m doubles = m complex slots).
+  for (std::size_t j = 0; j < m; ++j) {
+    const cplx wj = std::exp(z * ws.d[j]) * ws.z[j];  // row 0, column j
+    ws.tmp[2 * j] = wj.real();
+    ws.tmp[2 * j + 1] = wj.imag();
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    cplx s = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      s += ws.z[k * m + j] * cplx(ws.tmp[2 * j], ws.tmp[2 * j + 1]);
+    out[k] = s;
+  }
+}
+
+}  // namespace gecos

@@ -1,0 +1,60 @@
+// Small real-symmetric eigensolvers for projected Krylov problems.
+//
+// The Krylov layer (src/solver/) reduces every large Hermitian operator to a
+// small real-symmetric matrix: strictly tridiagonal for a plain Lanczos run,
+// arrowhead-plus-tridiagonal after a thick restart. This header provides the
+// two matching eigensolvers — implicit-shift QL for the tridiagonal fast
+// path and cyclic Jacobi for the general dense-symmetric case — plus the
+// exp(z*T)e1 evaluation the Krylov propagator needs. All routines work out
+// of a caller-owned SymEigWorkspace so solver iterations allocate nothing
+// after warm-up (the workspace grows monotonically and is reused). Problem
+// sizes are Krylov subspace dimensions (tens to a few hundred), so the
+// O(m^3) dense algorithms here are never the bottleneck next to a 2^n
+// matvec.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/blas1.hpp"
+
+namespace gecos {
+
+/// Reusable scratch for the small symmetric eigensolvers. All buffers grow
+/// monotonically (reserve() or first use) and are never shrunk, so repeated
+/// solves of bounded size are allocation-free.
+struct SymEigWorkspace {
+  /// Pre-sizes every buffer for problems up to m x m.
+  void reserve(std::size_t m);
+
+  std::vector<double> a;    ///< m*m working copy (destroyed by the solve)
+  std::vector<double> z;    ///< m*m eigenvectors, row-major, column j = vec j
+  std::vector<double> d;    ///< eigenvalues, ascending after a solve
+  std::vector<double> e;    ///< off-diagonal scratch (QL)
+  std::vector<double> tmp;  ///< permutation / coefficient scratch
+};
+
+/// Eigen-decomposition of a dense real-symmetric matrix (row-major `a`,
+/// m x m; only the stored values are read, symmetry is assumed). Cyclic
+/// Jacobi to machine precision. Results: ws.d (ascending) and ws.z (column
+/// j of the row-major m x m block is the eigenvector of ws.d[j]).
+/// Allocation-free when ws was reserved for >= m.
+void eigh_sym(std::span<const double> a, std::size_t m, SymEigWorkspace& ws);
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix with diagonal
+/// `alpha` (size m) and off-diagonal `beta` (size m-1): implicit-shift QL
+/// with eigenvector accumulation. Same output convention and workspace
+/// behavior as eigh_sym; O(m^2) per eigenvalue instead of Jacobi sweeps.
+void eigh_tridiag(std::span<const double> alpha, std::span<const double> beta,
+                  std::size_t m, SymEigWorkspace& ws);
+
+/// out = exp(z * T) e1 for the symmetric tridiagonal T given by alpha/beta
+/// (sizes m and m-1), any complex z (z = -i*dt: unitary propagation;
+/// z = -dt: imaginary-time projection). Computed through eigh_tridiag:
+/// out_k = sum_j z_kj exp(z d_j) z_0j. out must have size m.
+void expm_tridiag_e1(std::span<const double> alpha,
+                     std::span<const double> beta, std::size_t m, cplx z,
+                     std::span<cplx> out, SymEigWorkspace& ws);
+
+}  // namespace gecos

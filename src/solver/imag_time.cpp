@@ -1,0 +1,48 @@
+#include "solver/imag_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas1.hpp"
+
+namespace gecos {
+
+ImagTimeResult imag_time_ground_state(const LinearOperator& h,
+                                      StateVector& psi,
+                                      const ImagTimeOptions& opts) {
+  if (psi.dim() != h.dim())
+    throw std::invalid_argument("imag_time_ground_state: dimension mismatch");
+  if (!(opts.dt > 0))
+    throw std::invalid_argument("imag_time_ground_state: dt must be > 0");
+
+  KrylovOptions kopts;
+  kopts.max_subspace = opts.max_subspace;
+  kopts.tol = opts.krylov_tol;
+  kopts.mode = KrylovMode::kLanczos;
+  const KrylovEvolver expm(h, kopts);
+
+  // One scratch vector for H psi; energy and variance come from the same
+  // application: E = Re<psi|H psi>, var = ||H psi||^2 - E^2.
+  StateVector hpsi(psi.n_qubits());
+  ImagTimeResult r;
+  psi.normalize();
+  for (;;) {
+    h.apply(psi.amps(), hpsi.amps());
+    ++r.matvecs;
+    r.energy = vec_dot(psi.amps(), hpsi.amps()).real();
+    const double h2 = vec_norm(hpsi.amps());
+    r.variance = h2 * h2 - r.energy * r.energy;
+    if (r.variance <= opts.variance_tol) {
+      r.converged = true;
+      return r;
+    }
+    if (r.steps >= opts.max_steps) return r;
+
+    expm.apply_expm(cplx(-opts.dt), psi.amps());
+    r.matvecs += expm.last_matvecs();
+    psi.normalize();
+    ++r.steps;
+  }
+}
+
+}  // namespace gecos

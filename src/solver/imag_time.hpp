@@ -1,0 +1,54 @@
+// Imaginary-time projection: ground states by exp(-tau H) power filtering.
+//
+// Propagating in imaginary time suppresses every excited component by
+// exp(-tau (E_i - E_0)), so repeatedly applying exp(-dt H) and renormalizing
+// projects any state with nonzero ground-state overlap onto the ground
+// state. The exponential itself is evaluated through the Krylov engine
+// (KrylovEvolver::apply_expm with real negative z), which makes each
+// projection step spectrally exact up to the configured tolerance — the
+// method's only error is the finite filtering time, which the
+// energy-variance stopping rule bounds: var = <H^2> - <H>^2 vanishes
+// exactly on eigenstates and |E - E_0| <= var / gap near the ground state.
+// This is the designated cross-check for the Lanczos eigensolver: same
+// matvec kernels, completely different projection principle. See DESIGN.md
+// "Krylov solver layer".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ops/linear_op.hpp"
+#include "solver/krylov_evolve.hpp"
+#include "state/state_vector.hpp"
+
+namespace gecos {
+
+/// Tuning knobs for the imaginary-time projector.
+struct ImagTimeOptions {
+  double dt = 0.5;                  ///< imaginary-time step tau per iteration
+  std::size_t max_steps = 1000;     ///< iteration cap
+  double variance_tol = 1e-10;      ///< stop when <H^2> - <H>^2 <= this
+  std::size_t max_subspace = 24;    ///< Krylov cap for each exp(-dt H)
+  double krylov_tol = 1e-12;        ///< per-step Krylov error budget
+};
+
+/// Outcome of an imaginary-time projection.
+struct ImagTimeResult {
+  double energy = 0.0;        ///< final <H>
+  double variance = 0.0;      ///< final <H^2> - <H>^2
+  std::size_t steps = 0;      ///< projection steps taken
+  std::size_t matvecs = 0;    ///< operator applications (steps + measurement)
+  bool converged = false;     ///< variance_tol reached within max_steps
+};
+
+/// Projects psi onto the ground state of h (Hermitian; kLanczos Krylov mode
+/// is used internally) by renormalized exp(-dt H) steps, stopping on the
+/// energy variance. psi is the start state on entry (must have nonzero
+/// ground-state overlap — a random state almost surely does) and the
+/// projected state on exit, normalized. Throws std::invalid_argument on a
+/// dimension mismatch or non-positive dt.
+ImagTimeResult imag_time_ground_state(const LinearOperator& h,
+                                      StateVector& psi,
+                                      const ImagTimeOptions& opts = {});
+
+}  // namespace gecos

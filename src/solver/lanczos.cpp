@@ -1,0 +1,271 @@
+#include "solver/lanczos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gecos {
+
+namespace {
+
+/// Orthogonality-loss threshold of the selective policy: a full pass fires
+/// when the omega estimate crosses sqrt(machine epsilon).
+const double kOmegaLimit = std::sqrt(std::numeric_limits<double>::epsilon());
+/// Baseline orthogonality level right after an explicit orthogonalization.
+const double kEps = std::numeric_limits<double>::epsilon();
+
+}  // namespace
+
+Lanczos::Lanczos(const LinearOperator& op, LanczosOptions opts)
+    : op_(op),
+      opts_(opts),
+      dim_(op.dim()),
+      m_(std::min(opts.max_subspace, dim_)),
+      keep_(std::min(opts.k + 8, m_ >= 2 ? m_ - 2 : std::size_t{0})),
+      basis_(dim_ < 2 ? 2 : dim_, (m_ < 2 ? 2 : m_) + 1),
+      aux_(dim_ < 2 ? 2 : dim_, keep_ == 0 ? 1 : keep_),
+      rng_(opts.seed) {
+  if (opts.k == 0) throw std::invalid_argument("Lanczos: k must be >= 1");
+  if (dim_ < 2) throw std::invalid_argument("Lanczos: operator dim < 2");
+  if (opts.k + 2 > m_)
+    throw std::invalid_argument(
+        "Lanczos: max_subspace must be >= k + 2 (and <= operator dim)");
+  tmat_.assign(m_ * m_, 0.0);
+  proj_.assign(m_ * m_, 0.0);
+  omega_.assign(m_ + 1, kEps);
+  omega_prev_.assign(m_ + 1, kEps);
+  coeffs_.assign(m_ + 1, cplx(0.0));
+  ws_.reserve(m_);
+  result_.eigenvalues.assign(opts_.k, 0.0);
+  result_.residuals.assign(opts_.k, 0.0);
+}
+
+std::span<const cplx> Lanczos::ritz_vector(std::size_t i) const {
+  assert(i < opts_.k && opts_.compute_vectors);
+  return aux_.vec(i);
+}
+
+double Lanczos::extend(std::size_t j) const {
+  std::span<cplx> w = basis_.vec(j + 1);
+  op_.apply(basis_.vec(j), w);
+  ++result_.matvecs;
+
+  // Local recurrence: remove the known couplings of column j of the
+  // projected matrix — the single sub-diagonal beta for a plain Lanczos
+  // step, the whole border row when v_j is the residual vector of a thick
+  // restart (j == locked_).
+  if (j == locked_ && locked_ > 0) {
+    for (std::size_t i = 0; i < locked_; ++i)
+      vec_axpy(w, cplx(-tmat_[i * m_ + j]), basis_.vec(i));
+  } else if (j > 0) {
+    vec_axpy(w, cplx(-tmat_[(j - 1) * m_ + j]), basis_.vec(j - 1));
+  }
+  const double a = vec_dot(basis_.vec(j), w).real();
+  tmat_[j * m_ + j] = a;
+  vec_axpy(w, cplx(-a), basis_.vec(j));
+
+  switch (opts_.reorth) {
+    case LanczosReorth::kFull:
+      // The local recurrence was the first Gram-Schmidt pass; one classical
+      // pass over the whole prefix restores machine-level orthogonality
+      // ("twice is enough").
+      basis_.project_out(w, j + 1, 1);
+      break;
+    case LanczosReorth::kSelective: {
+      // Parlett-Simon omega recurrence over the tridiagonal tail estimates
+      // |<v_{j+1}, v_i>| growth from the three-term recurrence alone; a
+      // full pass fires only when the estimate crosses sqrt(eps). The
+      // locked thick-restart prefix is always projected out (it is k+8
+      // vectors at most — cheap next to a matvec). Conventions: omega_
+      // holds the current generation omega_{j,.} with the implicit
+      // diagonal omega_{j,j} = 1, omega_prev_ the previous one; the new
+      // generation is computed strictly from OLD values (old_im1 carries
+      // the pre-overwrite omega_{j,i-1}).
+      if (locked_ > 0) basis_.project_out(w, locked_, 1);
+      const double bj = std::max(vec_norm(w), 1e-300);
+      const double bjm1 = j > locked_ ? tmat_[(j - 1) * m_ + j] : 0.0;
+      double worst = 0.0;
+      double old_im1 = 0.0;  // omega_{j,locked_-1}: outside the tail, ~0
+      for (std::size_t i = locked_; i + 1 <= j; ++i) {
+        const double ai = tmat_[i * m_ + i];
+        const double bi = i + 1 < m_ ? tmat_[i * m_ + i + 1] : 0.0;
+        const double bim1 = i > locked_ ? tmat_[(i - 1) * m_ + i] : 0.0;
+        const double old_i = omega_[i];
+        const double old_ip1 = i + 2 <= j ? omega_[i + 1] : 1.0;  // om_{j,j}
+        double next = bi * old_ip1 + (ai - a) * old_i + bim1 * old_im1 -
+                      bjm1 * omega_prev_[i];
+        next = std::abs(next) / bj + kEps;
+        omega_prev_[i] = old_i;
+        omega_[i] = next;
+        old_im1 = old_i;
+        worst = std::max(worst, next);
+      }
+      omega_prev_[j] = 1.0;   // omega_{j,j}
+      omega_[j] = kEps;       // omega_{j+1,j}: freshly orthogonal pair
+      if (worst > kOmegaLimit) {
+        basis_.project_out(w, j + 1, 1);
+        for (std::size_t i = 0; i <= j; ++i)
+          omega_[i] = omega_prev_[i] = kEps;
+        return vec_norm(w);
+      }
+      return bj;  // w untouched since the norm above: reuse it
+    }
+    case LanczosReorth::kNone:
+      break;
+  }
+  return vec_norm(w);
+}
+
+void Lanczos::project_eig(std::size_t jj) const {
+  for (std::size_t r = 0; r < jj; ++r)
+    for (std::size_t c = 0; c < jj; ++c)
+      proj_[r * jj + c] = tmat_[r * m_ + c];
+  eigh_sym(proj_, jj, ws_);
+}
+
+void Lanczos::thick_restart(std::size_t jj, std::size_t l, double b) const {
+  // Ritz vectors u_i = V z_i of the l lowest pairs, staged in aux_ (the
+  // basis slots are still live inputs while any u_i is unfinished).
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t r = 0; r < jj; ++r)
+      coeffs_[r] = cplx(ws_.z[r * jj + i]);
+    vec_fill(aux_.vec(i), cplx(0.0));
+    basis_.accumulate(aux_.vec(i), coeffs_, jj);
+  }
+  for (std::size_t i = 0; i < l; ++i) vec_copy(basis_.vec(i), aux_.vec(i));
+  vec_copy(basis_.vec(l), basis_.vec(jj));
+
+  // New projected matrix: diag(theta_i) bordered by the residual couplings
+  // b_i = beta * z_{last,i} in row/column l.
+  std::fill(tmat_.begin(), tmat_.end(), 0.0);
+  for (std::size_t i = 0; i < l; ++i) {
+    tmat_[i * m_ + i] = ws_.d[i];
+    const double bi = b * ws_.z[(jj - 1) * jj + i];
+    tmat_[i * m_ + l] = bi;
+    tmat_[l * m_ + i] = bi;
+  }
+  locked_ = l;
+  ++result_.restarts;
+  for (std::size_t i = 0; i <= m_; ++i) omega_[i] = omega_prev_[i] = kEps;
+}
+
+const LanczosResult& Lanczos::solve() {
+  // Seeded Gaussian start vector written straight into slot 0 (no
+  // temporary), normalized by the common path below.
+  std::span<cplx> v0 = basis_.vec(0);
+  std::normal_distribution<double> g;
+  for (cplx& x : v0) x = cplx(g(rng_), g(rng_));
+  return run();
+}
+
+const LanczosResult& Lanczos::solve(std::span<const cplx> v0) {
+  if (v0.size() != dim_)
+    throw std::invalid_argument("Lanczos::solve: start vector size mismatch");
+  vec_copy(basis_.vec(0), v0);
+  return run();
+}
+
+const LanczosResult& Lanczos::run() {
+  const double n0 = vec_norm(basis_.vec(0));
+  if (n0 == 0.0)
+    throw std::invalid_argument("Lanczos: start vector must be nonzero");
+  vec_scale(basis_.vec(0), cplx(1.0 / n0));
+
+  result_.iterations = 0;
+  result_.matvecs = 0;
+  result_.restarts = 0;
+  result_.converged = false;
+  locked_ = 0;
+  std::fill(tmat_.begin(), tmat_.end(), 0.0);
+  for (std::size_t i = 0; i <= m_; ++i) omega_[i] = omega_prev_[i] = kEps;
+
+  std::fill(result_.eigenvalues.begin(), result_.eigenvalues.end(), 0.0);
+  std::fill(result_.residuals.begin(), result_.residuals.end(), 0.0);
+
+  const std::size_t k = opts_.k;
+  std::size_t j = 0;       // index of the newest basis vector
+  std::size_t jj = 0;      // current basis size after the extension below
+  double b_exit = 0.0;     // residual coupling at loop exit
+  std::normal_distribution<double> g;
+
+  for (;;) {
+    double b = extend(j);
+    ++result_.iterations;
+    jj = j + 1;
+
+    // Breakdown: the Krylov space is invariant. Every Ritz pair of the
+    // current block is exact; if that is not yet enough pairs, deflate by
+    // continuing from a fresh random direction orthogonal to everything
+    // (coupling 0 keeps the block structure intact).
+    const bool breakdown = b <= 1e-12 * std::max(1.0, std::abs(tmat_[j * m_ + j]));
+
+    project_eig(jj);
+    bool all_done = jj >= k;
+    if (all_done)
+      for (std::size_t i = 0; i < k; ++i) {
+        const double res = breakdown ? 0.0 : b * std::abs(ws_.z[j * jj + i]);
+        if (res > opts_.tol) {
+          all_done = false;
+          break;
+        }
+      }
+    if (all_done || result_.matvecs >= opts_.max_matvecs) {
+      result_.converged = all_done;
+      b_exit = breakdown ? 0.0 : b;
+      break;
+    }
+
+    if (breakdown) {
+      // Continue from a fresh random direction orthogonal to everything;
+      // zero coupling keeps the exact block untouched.
+      std::span<cplx> w = basis_.vec(jj);
+      for (cplx& x : w) x = cplx(g(rng_), g(rng_));
+      basis_.project_out(w, jj, 2);
+      const double nw = vec_norm(w);
+      if (nw == 0.0) {  // dim exhausted: nothing further to add
+        result_.converged = all_done;
+        break;
+      }
+      vec_scale(w, cplx(1.0 / nw));
+      if (jj == m_) {
+        // Full basis of an invariant-subspace chain: restart to make room
+        // (border couplings are b * z = 0, preserving the block boundary).
+        thick_restart(jj, std::min(keep_, jj - 1), 0.0);
+        j = locked_;
+        continue;
+      }
+      j = jj;
+      continue;
+    }
+
+    if (jj == m_) {
+      vec_scale(basis_.vec(jj), cplx(1.0 / b));
+      thick_restart(jj, keep_, b);
+      j = locked_;
+      continue;
+    }
+    tmat_[j * m_ + jj] = b;
+    tmat_[jj * m_ + j] = b;
+    vec_scale(basis_.vec(jj), cplx(1.0 / b));
+    j = jj;
+  }
+
+  for (std::size_t i = 0; i < k && i < jj; ++i) {
+    result_.eigenvalues[i] = ws_.d[i];
+    result_.residuals[i] = b_exit * std::abs(ws_.z[j * jj + i]);
+  }
+
+  if (opts_.compute_vectors) {
+    for (std::size_t i = 0; i < k && i < jj; ++i) {
+      for (std::size_t r = 0; r < jj; ++r)
+        coeffs_[r] = cplx(ws_.z[r * jj + i]);
+      vec_fill(aux_.vec(i), cplx(0.0));
+      basis_.accumulate(aux_.vec(i), coeffs_, jj);
+    }
+  }
+  return result_;
+}
+
+}  // namespace gecos

@@ -1,0 +1,115 @@
+// Thick-restart Lanczos: k lowest eigenpairs of a Hermitian LinearOperator.
+//
+// The dense Jacobi eigh caps every spectral question at ~10 qubits; this
+// solver needs only the matrix-free apply_add hot path, so ground-state
+// energies and gaps of the n = 20+ Hubbard lattices come from the same
+// kernels the evolution engine runs on. It is the standard iterative
+// projection scheme: build an orthonormal Krylov basis V_m with the
+// Hermitian three-term recurrence, diagonalize the small projected matrix,
+// lock the best Ritz pairs and restart the basis from them (thick restart,
+// Wu-Simon style) so memory stays at max_subspace vectors no matter how
+// many iterations convergence takes. Reorthogonalization policy, residual
+// convergence criteria and the restart rule are documented in DESIGN.md
+// "Krylov solver layer". After construction (which preallocates the basis,
+// the projected matrix and the small-eigensolver workspace), solve() runs
+// allocation-free — probe-verified in tests/test_lanczos.cpp.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "linalg/sym_eig.hpp"
+#include "ops/linear_op.hpp"
+#include "state/krylov_basis.hpp"
+
+namespace gecos {
+
+/// Reorthogonalization policy of a Lanczos run (see DESIGN.md).
+enum class LanczosReorth {
+  kFull,       ///< every iteration orthogonalizes against the whole basis
+  kSelective,  ///< omega-recurrence estimate triggers full passes on demand
+  kNone,       ///< bare three-term recurrence (ghost eigenvalues; testing)
+};
+
+/// Tuning knobs for the Lanczos eigensolver.
+struct LanczosOptions {
+  std::size_t k = 1;               ///< number of lowest eigenpairs wanted
+  std::size_t max_subspace = 48;   ///< basis cap m before a thick restart
+  std::size_t max_matvecs = 20000; ///< hard budget on operator applications
+  double tol = 1e-10;              ///< residual bound ||H y - theta y||
+  LanczosReorth reorth = LanczosReorth::kFull;  ///< see DESIGN.md
+  bool compute_vectors = true;     ///< recover Ritz vectors after convergence
+  std::uint64_t seed = 20260730;   ///< start-vector seed when none is given
+};
+
+/// Outcome of a Lanczos solve. Buffers are preallocated at construction and
+/// reused across solves.
+struct LanczosResult {
+  std::vector<double> eigenvalues;  ///< k lowest Ritz values, ascending
+  std::vector<double> residuals;    ///< ||H y_i - theta_i y_i|| per pair
+  std::size_t iterations = 0;       ///< Lanczos steps (= basis extensions)
+  std::size_t matvecs = 0;          ///< operator applications
+  std::size_t restarts = 0;         ///< thick restarts performed
+  bool converged = false;           ///< all k residuals <= tol
+};
+
+/// Thick-restart Lanczos eigensolver for the k lowest eigenpairs.
+class Lanczos {
+ public:
+  /// Captures the operator by reference (it must outlive the solver) and
+  /// preallocates every buffer a solve touches. Throws
+  /// std::invalid_argument when k = 0, when the subspace cannot hold
+  /// k + 2 vectors, or when the operator dimension is < 2.
+  explicit Lanczos(const LinearOperator& op, LanczosOptions opts = {});
+
+  /// Runs from a seeded random start vector. The result reference stays
+  /// valid until the next solve on this object.
+  const LanczosResult& solve();
+  /// Runs from the given start vector (need not be normalized; must have
+  /// operator dimension). A zero start vector throws.
+  const LanczosResult& solve(std::span<const cplx> v0);
+
+  /// Result of the last solve (zeroed before the first).
+  const LanczosResult& result() const { return result_; }
+
+  /// Ritz vector i (i < k) of the last solve; valid when
+  /// opts.compute_vectors was set. Normalized, stored in solver-owned
+  /// memory that the next solve overwrites.
+  std::span<const cplx> ritz_vector(std::size_t i) const;
+
+ private:
+  /// The iteration shared by both solve() overloads (slot 0 holds the
+  /// unnormalized start vector on entry).
+  const LanczosResult& run();
+  /// One Lanczos extension from slot j: leaves the unnormalized residual in
+  /// slot j+1 and returns its norm beta_j.
+  double extend(std::size_t j) const;
+  /// Diagonalizes the leading jj x jj block of the projected matrix.
+  void project_eig(std::size_t jj) const;
+  /// Contracts the jj-vector basis to the l lowest Ritz vectors plus the
+  /// (already normalized) residual vector in slot jj, whose coupling norm
+  /// is b.
+  void thick_restart(std::size_t jj, std::size_t l, double b) const;
+
+  const LinearOperator& op_;
+  LanczosOptions opts_;
+  std::size_t dim_ = 0;
+  std::size_t m_ = 0;  // effective subspace cap
+  mutable std::size_t locked_ = 0;  // thick-restart prefix (0 until one)
+
+  std::size_t keep_ = 0;    // Ritz pairs kept at a thick restart (>= k)
+
+  mutable KrylovBasis basis_;  // m_ + 1 slots: v_0..v_m
+  mutable KrylovBasis aux_;    // keep_ slots: restart staging / Ritz vectors
+  mutable std::vector<double> tmat_;  // m_ x m_ projected matrix, row-major
+  mutable std::vector<double> proj_;  // packed leading block for eigh_sym
+  mutable std::vector<double> omega_, omega_prev_;  // selective-reorth bound
+  mutable std::vector<cplx> coeffs_;  // recombination scratch
+  mutable SymEigWorkspace ws_;
+  mutable std::mt19937_64 rng_;
+  mutable LanczosResult result_;
+};
+
+}  // namespace gecos

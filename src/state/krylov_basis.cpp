@@ -1,0 +1,54 @@
+#include "state/krylov_basis.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gecos {
+
+KrylovBasis::KrylovBasis(std::size_t dim, std::size_t capacity)
+    : dim_(dim), capacity_(capacity) {
+  if (dim == 0 || capacity == 0)
+    throw std::invalid_argument("KrylovBasis: dim and capacity must be >= 1");
+  store_.assign(dim * capacity, cplx(0.0));
+}
+
+std::span<cplx> KrylovBasis::vec(std::size_t j) {
+  assert(j < capacity_);
+  return {store_.data() + j * dim_, dim_};
+}
+
+std::span<const cplx> KrylovBasis::vec(std::size_t j) const {
+  assert(j < capacity_);
+  return {store_.data() + j * dim_, dim_};
+}
+
+void KrylovBasis::orthogonalize(std::span<cplx> w, std::size_t count,
+                                std::span<cplx> h, int passes) const {
+  assert(w.size() == dim_ && count <= capacity_ && h.size() >= count);
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const cplx c = vec_dot(vec(j), w);
+      vec_axpy(w, -c, vec(j));
+      h[j] += c;
+    }
+  }
+}
+
+void KrylovBasis::project_out(std::span<cplx> w, std::size_t count,
+                              int passes) const {
+  assert(w.size() == dim_ && count <= capacity_);
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const cplx c = vec_dot(vec(j), w);
+      vec_axpy(w, -c, vec(j));
+    }
+  }
+}
+
+void KrylovBasis::accumulate(std::span<cplx> y, std::span<const cplx> coeffs,
+                             std::size_t count) const {
+  assert(y.size() == dim_ && count <= capacity_ && coeffs.size() >= count);
+  for (std::size_t j = 0; j < count; ++j) vec_axpy(y, coeffs[j], vec(j));
+}
+
+}  // namespace gecos

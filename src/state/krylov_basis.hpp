@@ -1,0 +1,63 @@
+// KrylovBasis: preallocated batched storage for Krylov subspace vectors.
+//
+// Every Krylov method in src/solver/ (Lanczos eigensolver, exp(zH) evolver,
+// imaginary-time projector) carries a set of m orthonormal statevectors next
+// to the 2^n state being processed. A KrylovBasis owns all m vectors in ONE
+// 64-byte-aligned block (same allocator as StateVector, contiguous so
+// basis-wide sweeps stream linearly), hands out per-vector spans, and
+// implements the two batched primitives the solvers share: Gram-Schmidt
+// orthogonalization of a work vector against the stored prefix and linear
+// recombination (Ritz-vector recovery, exp(T) coefficient application). All
+// inner loops route through the parallel BLAS-1 kernels; nothing here
+// allocates after construction, which is what makes solver iterations
+// allocation-free after warm-up.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/blas1.hpp"
+#include "state/state_vector.hpp"
+
+namespace gecos {
+
+/// Owning block of `capacity` aligned statevectors of a fixed dimension.
+class KrylovBasis {
+ public:
+  /// Allocates capacity * dim amplitudes up front (the only allocation this
+  /// class ever performs). Throws std::invalid_argument on a zero size.
+  KrylovBasis(std::size_t dim, std::size_t capacity);
+
+  /// Amplitude count per vector and number of preallocated slots.
+  std::size_t dim() const { return dim_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// View of slot j (unchecked beyond an assert; slots are caller-managed).
+  std::span<cplx> vec(std::size_t j);
+  std::span<const cplx> vec(std::size_t j) const;
+
+  /// Classical Gram-Schmidt: removes the components of slots [0, count)
+  /// from w, accumulating the removed coefficients into h (h[j] +=
+  /// <v_j|w>). `passes` >= 2 gives the classic "twice is enough"
+  /// re-orthogonalization; corrections from later passes are folded into h
+  /// so h always holds the total removed component. w must not alias any
+  /// slot.
+  void orthogonalize(std::span<cplx> w, std::size_t count, std::span<cplx> h,
+                     int passes = 2) const;
+
+  /// Orthogonalization without coefficient recording (h discarded): the
+  /// re-orthogonalization primitive of the Lanczos three-term recurrence.
+  void project_out(std::span<cplx> w, std::size_t count, int passes = 2) const;
+
+  /// y += sum_{j < count} coeffs[j] * v_j (Ritz vectors, exp(T) e1
+  /// recombination). y must not alias any slot.
+  void accumulate(std::span<cplx> y, std::span<const cplx> coeffs,
+                  std::size_t count) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t capacity_ = 0;
+  AlignedVec store_;
+};
+
+}  // namespace gecos

@@ -1,4 +1,5 @@
 #include "state/state_vector.hpp"
+#include "linalg/blas1.hpp"
 
 #include <random>
 #include <stdexcept>

@@ -5,6 +5,7 @@
 #include <random>
 #include <vector>
 
+#include "linalg/blas1.hpp"
 #include "evolve/trotter.hpp"
 #include "fermion/hubbard.hpp"
 #include "linalg/expm.hpp"

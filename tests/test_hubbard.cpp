@@ -4,6 +4,7 @@
 // agreement at n = 18, and the paper's scaling pin: the SCB representation
 // stays one term per fermionic word while the Pauli expansion pays 2^k per
 // term (k = projector/transition factor count).
+#include "linalg/blas1.hpp"
 #include "fermion/hubbard.hpp"
 
 #include <random>

@@ -1,0 +1,134 @@
+// Imaginary-time projection suite: ground-state energies against dense eigh
+// AND the Lanczos eigensolver (the pairwise agreement demanded of two
+// independent projection principles), final-state fidelity, stopping
+// behavior, and error paths.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "fermion/hubbard.hpp"
+#include "linalg/blas1.hpp"
+#include "linalg/expm.hpp"
+#include "ops/scb_sum.hpp"
+#include "solver/imag_time.hpp"
+#include "solver/lanczos.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+int main() {
+  // -- three-way agreement: dense eigh, Lanczos, imaginary time -------------
+  for (const bool spinful : {false, true}) {
+    HubbardParams p;
+    p.lx = spinful ? 4 : 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = !spinful;
+    p.spinful = spinful;
+    const ScbSum h = hubbard_scb(p);
+    const std::size_t n = h.num_qubits();  // 8 both ways
+
+    const EigenSystem dense = eigh(h.to_matrix());
+    const double e_dense = dense.eigenvalues[0];
+
+    LanczosOptions lo;
+    lo.k = 1;
+    lo.tol = 1e-11;
+    Lanczos lan(h, lo);
+    const double e_lanczos = lan.solve().eigenvalues[0];
+
+    StateVector psi = StateVector::random(n, 11);
+    ImagTimeOptions io;
+    io.variance_tol = 1e-12;
+    const ImagTimeResult r = imag_time_ground_state(h, psi, io);
+    std::printf("n=%zu spinful=%d E(dense)=%.12f E(imag)=%.12f var=%.2e "
+                "steps=%zu matvecs=%zu\n",
+                n, spinful ? 1 : 0, e_dense, r.energy, r.variance, r.steps,
+                r.matvecs);
+    CHECK(r.converged);
+
+    // Pairwise: dense vs Lanczos vs imaginary time. The imaginary-time
+    // energy error is bounded by var / gap; var = 1e-12 and gap O(1) puts
+    // it far inside 1e-9.
+    CHECK_NEAR(e_lanczos, e_dense, 1e-10);
+    CHECK_NEAR(r.energy, e_dense, 1e-9);
+    CHECK_NEAR(r.energy, e_lanczos, 1e-9);
+
+    // The projected state IS the ground state: overlap deficiency with the
+    // dense eigenvector is var / gap^2.
+    cplx overlap = 0;
+    for (std::size_t i = 0; i < psi.dim(); ++i)
+      overlap += std::conj(dense.eigenvectors(i, 0)) * psi[i];
+    CHECK_NEAR(std::abs(overlap), 1.0, 1e-8);
+    CHECK_NEAR(psi.norm(), 1.0, 1e-12);
+
+    // And it agrees with the Lanczos Ritz vector up to global phase.
+    CHECK_NEAR(vec_diff_up_to_phase(lan.ritz_vector(0), psi.amps()), 0.0,
+               1e-5);
+  }
+
+  // -- a product-state start (the CDW quench state) projects too. [H, N] = 0
+  // confines both Krylov methods to the start state's particle-number
+  // sector, so the reference is Lanczos FROM THE SAME START, not the global
+  // dense ground state (which may live at another filling) ------------------
+  {
+    HubbardParams p;
+    p.lx = 6;
+    p.u = 3.0;
+    p.mu = 0.1;
+    const ScbSum h = hubbard_scb(p);
+    StateVector psi = StateVector::product(6, hubbard_cdw_occupation(p));
+    LanczosOptions lo;
+    lo.k = 1;
+    lo.tol = 1e-11;
+    Lanczos lan(h, lo);
+    const double e_sector = lan.solve(psi.amps()).eigenvalues[0];
+    ImagTimeOptions io;
+    io.variance_tol = 1e-12;
+    const ImagTimeResult r = imag_time_ground_state(h, psi, io);
+    CHECK(r.converged);
+    CHECK_NEAR(r.energy, e_sector, 1e-9);
+  }
+
+  // -- stopping: an unreachable variance target exhausts max_steps ----------
+  {
+    HubbardParams p;
+    p.lx = 4;
+    p.u = 2.0;
+    const ScbSum h = hubbard_scb(p);
+    StateVector psi = StateVector::random(4, 3);
+    ImagTimeOptions io;
+    io.variance_tol = 0.0;  // exact eigenstate: unreachable in fp
+    io.max_steps = 5;
+    const ImagTimeResult r = imag_time_ground_state(h, psi, io);
+    CHECK(!r.converged);
+    CHECK_EQ(r.steps, std::size_t{5});
+  }
+
+  // -- error paths ----------------------------------------------------------
+  {
+    HubbardParams p;
+    p.lx = 4;
+    const ScbSum h = hubbard_scb(p);
+    bool threw = false;
+    try {
+      StateVector psi(5);  // wrong dimension
+      imag_time_ground_state(h, psi);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+    threw = false;
+    try {
+      StateVector psi(4);
+      ImagTimeOptions io;
+      io.dt = 0.0;
+      imag_time_ground_state(h, psi, io);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return gecos::test::finish("test_imag_time");
+}

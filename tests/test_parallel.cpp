@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "linalg/blas1.hpp"
 #include "fermion/hubbard.hpp"
 #include "ops/scb_sum.hpp"
 #include "state/state_vector.hpp"

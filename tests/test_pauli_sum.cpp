@@ -1,6 +1,7 @@
 // PauliSum (packed flat-hash engine) vs RefPauliSum (legacy ordered map):
 // identical algebra on randomized workloads, including the multi-word
 // (> 64 qubit) key path, plus the matrix-free statevector apply.
+#include "linalg/blas1.hpp"
 #include "ops/pauli.hpp"
 
 #include <random>

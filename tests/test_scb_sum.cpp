@@ -1,6 +1,7 @@
 // ScbSum container semantics: merging/cancellation on add, distributive
 // Cayley-closed products (term count <= T1*T2, matrix agreement with dense),
 // adjoint/hermiticity, Pauli expansion round-trip and matrix-free apply.
+#include "linalg/blas1.hpp"
 #include "ops/scb_sum.hpp"
 
 #include <random>

@@ -7,6 +7,7 @@
 #include <random>
 #include <vector>
 
+#include "linalg/blas1.hpp"
 #include "linalg/sparse.hpp"
 #include "ops/pauli.hpp"
 #include "ops/scb_sum.hpp"

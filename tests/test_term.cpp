@@ -1,5 +1,6 @@
 // ScbTerm structure queries and the TermKernel matrix-free statevector
 // kernels against dense ground truth.
+#include "linalg/blas1.hpp"
 #include "ops/term.hpp"
 
 #include <bit>
