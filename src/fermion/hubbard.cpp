@@ -1,5 +1,6 @@
 #include "fermion/hubbard.hpp"
 
+#include <bit>
 #include <random>
 #include <stdexcept>
 #include <utility>
@@ -102,6 +103,52 @@ FermionSum total_number(std::size_t num_modes) {
     n.add(FermionProduct(1.0, {{static_cast<std::uint32_t>(m), true},
                                {static_cast<std::uint32_t>(m), false}}));
   return n;
+}
+
+std::uint64_t hubbard_species_mask(const HubbardParams& p, int spin) {
+  const std::size_t modes = hubbard_num_modes(p);
+  if (modes > 63)
+    throw std::invalid_argument("hubbard_species_mask: > 63 modes");
+  const std::uint64_t all = (std::uint64_t{1} << modes) - 1;
+  if (!p.spinful) {
+    if (spin != 0)
+      throw std::invalid_argument("hubbard_species_mask: spinless has spin 0");
+    return all;
+  }
+  if (spin < 0 || spin > 1)
+    throw std::invalid_argument("hubbard_species_mask: spin must be 0 or 1");
+  // Single source of truth for the interleaved spin layout is the sector
+  // subsystem's spinful constructor — deriving the mask from it keeps the
+  // two construction paths incapable of diverging.
+  return SectorBasis::spinful(modes, 0, 0).species()[spin].mask;
+}
+
+SectorBasis hubbard_sector(const HubbardParams& p, std::size_t n_up,
+                           std::size_t n_down) {
+  const std::size_t modes = hubbard_num_modes(p);
+  if (!p.spinful) {
+    if (n_down != 0)
+      throw std::invalid_argument(
+          "hubbard_sector: spinless lattices take the total as n_up "
+          "(n_down must be 0)");
+    return SectorBasis::fixed_number(modes, n_up);
+  }
+  return SectorBasis::spinful(modes, n_up, n_down);
+}
+
+SectorBasis hubbard_sector_of(const HubbardParams& p,
+                              std::uint64_t occupation) {
+  const std::size_t modes = hubbard_num_modes(p);
+  if (modes < 64 && (occupation >> modes) != 0)
+    throw std::invalid_argument("hubbard_sector_of: occupation beyond modes");
+  if (!p.spinful)
+    return hubbard_sector(
+        p, static_cast<std::size_t>(std::popcount(occupation)));
+  const auto count = [&](int spin) {
+    return static_cast<std::size_t>(
+        std::popcount(occupation & hubbard_species_mask(p, spin)));
+  };
+  return hubbard_sector(p, count(0), count(1));
 }
 
 FermionSum random_two_body(std::size_t num_modes, std::size_t num_one,

@@ -12,6 +12,7 @@
 
 #include "fermion/fermion_op.hpp"
 #include "fermion/jordan_wigner.hpp"
+#include "symmetry/sector_basis.hpp"
 
 namespace gecos {
 
@@ -64,6 +65,29 @@ FermionSum total_number(std::size_t num_modes);
 /// n_i, far from the Hubbard ground state, so evolving it under
 /// hubbard_scb(p) is a genuine quench. Feed it to StateVector::product.
 std::uint64_t hubbard_cdw_occupation(const HubbardParams& p);
+
+// -- U(1) sector pickers (src/symmetry/) -------------------------------------
+// Every builder in this header conserves particle number per spin species,
+// so its spectrum decomposes over the SectorBasis sectors below; see
+// DESIGN.md "Symmetry sectors".
+
+/// Occupation-bit mask of one spin species of the lattice (bit = JW qubit =
+/// mode). Spinful: spin 0 (up) is the even modes, spin 1 (down) the odd
+/// modes (the spin-fastest layout of hubbard_mode); spinless lattices have
+/// one species, spin 0 = all modes. Throws on an invalid spin or > 63 modes.
+std::uint64_t hubbard_species_mask(const HubbardParams& p, int spin);
+
+/// The (N_up, N_down) sector of a spinful lattice, or the fixed total-N
+/// sector of a spinless one (pass the total as n_up; n_down must then be 0).
+/// hubbard_scb(p) commutes with both species numbers, so SectorOperator
+/// accepts it on this basis. Throws on counts exceeding the mode counts.
+SectorBasis hubbard_sector(const HubbardParams& p, std::size_t n_up,
+                           std::size_t n_down = 0);
+
+/// The sector containing a given occupation bitmask — e.g.
+/// hubbard_sector_of(p, hubbard_cdw_occupation(p)) is the half-filling
+/// sector the CDW quench state lives in.
+SectorBasis hubbard_sector_of(const HubbardParams& p, std::uint64_t occupation);
 
 /// Seeded random Hermitian "molecular-like" Hamiltonian over num_modes
 /// spin-orbitals: num_one one-body pairs h_pq a+_p a_q + h.c. and num_two

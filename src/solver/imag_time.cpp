@@ -4,13 +4,14 @@
 #include <stdexcept>
 
 #include "linalg/blas1.hpp"
+#include "state/state_vector.hpp"
 
 namespace gecos {
 
 ImagTimeResult imag_time_ground_state(const LinearOperator& h,
-                                      StateVector& psi,
+                                      std::span<cplx> psi,
                                       const ImagTimeOptions& opts) {
-  if (psi.dim() != h.dim())
+  if (psi.size() != h.dim())
     throw std::invalid_argument("imag_time_ground_state: dimension mismatch");
   if (!(opts.dt > 0))
     throw std::invalid_argument("imag_time_ground_state: dt must be > 0");
@@ -21,16 +22,24 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
   kopts.mode = KrylovMode::kLanczos;
   const KrylovEvolver expm(h, kopts);
 
-  // One scratch vector for H psi; energy and variance come from the same
-  // application: E = Re<psi|H psi>, var = ||H psi||^2 - E^2.
-  StateVector hpsi(psi.n_qubits());
+  const auto normalize = [&] {
+    const double n = vec_norm(psi);
+    if (n == 0.0)
+      throw std::invalid_argument("imag_time_ground_state: zero state");
+    vec_scale(psi, cplx(1.0 / n));
+  };
+
+  // One scratch vector for H psi (aligned like every other hot-path
+  // amplitude buffer); energy and variance come from the same application:
+  // E = Re<psi|H psi>, var = ||H psi||^2 - E^2.
+  AlignedVec hpsi(h.dim());
   ImagTimeResult r;
-  psi.normalize();
+  normalize();
   for (;;) {
-    h.apply(psi.amps(), hpsi.amps());
+    h.apply(psi, hpsi);
     ++r.matvecs;
-    r.energy = vec_dot(psi.amps(), hpsi.amps()).real();
-    const double h2 = vec_norm(hpsi.amps());
+    r.energy = vec_dot(psi, hpsi).real();
+    const double h2 = vec_norm(hpsi);
     r.variance = h2 * h2 - r.energy * r.energy;
     if (r.variance <= opts.variance_tol) {
       r.converged = true;
@@ -38,11 +47,17 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
     }
     if (r.steps >= opts.max_steps) return r;
 
-    expm.apply_expm(cplx(-opts.dt), psi.amps());
+    expm.apply_expm(cplx(-opts.dt), psi);
     r.matvecs += expm.last_matvecs();
-    psi.normalize();
+    normalize();
     ++r.steps;
   }
+}
+
+ImagTimeResult imag_time_ground_state(const LinearOperator& h,
+                                      StateVector& psi,
+                                      const ImagTimeOptions& opts) {
+  return imag_time_ground_state(h, psi.amps(), opts);
 }
 
 }  // namespace gecos

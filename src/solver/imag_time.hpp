@@ -45,8 +45,15 @@ struct ImagTimeResult {
 /// is used internally) by renormalized exp(-dt H) steps, stopping on the
 /// energy variance. psi is the start state on entry (must have nonzero
 /// ground-state overlap — a random state almost surely does) and the
-/// projected state on exit, normalized. Throws std::invalid_argument on a
-/// dimension mismatch or non-positive dt.
+/// projected state on exit, normalized. psi.size() must equal h.dim() —
+/// which need not be 2^n: sector vectors over a SectorOperator
+/// (src/symmetry/) project with the same call. Throws std::invalid_argument
+/// on a dimension mismatch or non-positive dt.
+ImagTimeResult imag_time_ground_state(const LinearOperator& h,
+                                      std::span<cplx> psi,
+                                      const ImagTimeOptions& opts = {});
+
+/// StateVector overload of the span entry point above.
 ImagTimeResult imag_time_ground_state(const LinearOperator& h,
                                       StateVector& psi,
                                       const ImagTimeOptions& opts = {});

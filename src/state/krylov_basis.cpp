@@ -1,5 +1,6 @@
 #include "state/krylov_basis.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -10,6 +11,15 @@ KrylovBasis::KrylovBasis(std::size_t dim, std::size_t capacity)
   if (dim == 0 || capacity == 0)
     throw std::invalid_argument("KrylovBasis: dim and capacity must be >= 1");
   store_.assign(dim * capacity, cplx(0.0));
+}
+
+void KrylovBasis::reset(std::size_t dim) {
+  assert(dim >= 1 && dim * capacity_ <= store_.size() &&
+         "KrylovBasis::reset: new dim must fit the backing allocation");
+  dim_ = dim;
+  std::fill(store_.begin(),
+            store_.begin() + static_cast<std::ptrdiff_t>(dim_ * capacity_),
+            cplx(0.0));
 }
 
 std::span<cplx> KrylovBasis::vec(std::size_t j) {

@@ -32,6 +32,15 @@ class KrylovBasis {
   std::size_t dim() const { return dim_; }
   std::size_t capacity() const { return capacity_; }
 
+  /// Repartitions the backing allocation into `capacity()` slots of `dim`
+  /// amplitudes each and zero-fills them — reuse of one allocation across
+  /// solves of different vector lengths (e.g. a full-space basis re-aimed at
+  /// a sector dimension). PRECONDITION (debug-asserted, not checked in
+  /// release builds): dim >= 1 and dim * capacity() fits in the original
+  /// allocation — a larger dim would hand out overlapping/out-of-bounds
+  /// slot spans. This never allocates or shrinks the backing store.
+  void reset(std::size_t dim);
+
   /// View of slot j (unchecked beyond an assert; slots are caller-managed).
   std::span<cplx> vec(std::size_t j);
   std::span<const cplx> vec(std::size_t j) const;

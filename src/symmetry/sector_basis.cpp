@@ -1,0 +1,180 @@
+#include "symmetry/sector_basis.hpp"
+
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace gecos {
+
+namespace {
+
+/// Pascal's triangle up to n = 64 (the configuration word width). Every
+/// C(n, k) with n <= 64 fits in a uint64_t (the largest is C(64, 32) ~
+/// 1.8e18); computed once at static-initialization time, so the rank/unrank
+/// hot paths are pure table lookups.
+struct BinomTable {
+  std::uint64_t c[65][65] = {};
+  BinomTable() {
+    for (int n = 0; n <= 64; ++n) {
+      c[n][0] = 1;
+      for (int k = 1; k <= n; ++k) c[n][k] = c[n - 1][k - 1] + c[n - 1][k];
+    }
+  }
+};
+const BinomTable kBinom;
+
+/// Combinadic (colex) rank of a compact fixed-weight word: set bits
+/// p_1 < ... < p_k contribute sum_i C(p_i, i), which orders the C(bits, k)
+/// words ascending numerically.
+std::size_t combinadic_rank(std::uint64_t w) {
+  std::size_t r = 0;
+  int i = 1;
+  while (w != 0) {
+    const int p = std::countr_zero(w);
+    r += static_cast<std::size_t>(kBinom.c[p][i]);
+    ++i;
+    w &= w - 1;
+  }
+  return r;
+}
+
+/// Inverse of combinadic_rank for a word of `count` set bits among `bits`
+/// positions: greedily place the highest bit first (largest p with
+/// C(p, i) <= r). O(bits) — the candidate position only ever decreases.
+std::uint64_t combinadic_unrank(std::size_t r, std::size_t bits,
+                                std::size_t count) {
+  std::uint64_t w = 0;
+  std::size_t p = bits;  // exclusive upper bound on the next position
+  for (std::size_t i = count; i >= 1; --i) {
+    --p;
+    while (kBinom.c[p][i] > r) --p;
+    w |= std::uint64_t{1} << p;
+    r -= static_cast<std::size_t>(kBinom.c[p][i]);
+  }
+  return w;
+}
+
+}  // namespace
+
+SectorBasis::SectorBasis(std::size_t n_qubits,
+                         std::vector<SpeciesSector> species) {
+  if (n_qubits < 1 || n_qubits > 63)
+    throw std::invalid_argument("SectorBasis: need 1 <= n_qubits <= 63");
+  if (species.empty())
+    throw std::invalid_argument("SectorBasis: need at least one species");
+  n_qubits_ = n_qubits;
+  const std::uint64_t all = (std::uint64_t{1} << n_qubits) - 1;
+  std::uint64_t covered = 0;
+  dim_ = 1;
+  for (const SpeciesSector& s : species) {
+    if (s.mask == 0)
+      throw std::invalid_argument("SectorBasis: empty species mask");
+    if ((s.mask & ~all) != 0)
+      throw std::invalid_argument("SectorBasis: species mask exceeds n_qubits");
+    if ((s.mask & covered) != 0)
+      throw std::invalid_argument("SectorBasis: species masks must be disjoint");
+    covered |= s.mask;
+    Species sp;
+    sp.mask = s.mask;
+    sp.count = s.count;
+    sp.bits = static_cast<std::size_t>(std::popcount(s.mask));
+    if (s.count > sp.bits)
+      throw std::invalid_argument("SectorBasis: count exceeds species size");
+    sp.dim = static_cast<std::size_t>(kBinom.c[sp.bits][sp.count]);
+    sp.stride = dim_;
+    sp.bottom = (s.count == 0) ? 0 : (~std::uint64_t{0} >> (64 - s.count));
+    sp.top = sp.bottom << (sp.bits - s.count);
+    if (dim_ > std::numeric_limits<std::size_t>::max() / sp.dim)
+      throw std::invalid_argument("SectorBasis: sector dimension overflow");
+    dim_ *= sp.dim;
+    species_.push_back(sp);
+  }
+  if (covered != all)
+    throw std::invalid_argument(
+        "SectorBasis: species masks must cover all qubits");
+}
+
+SectorBasis SectorBasis::fixed_number(std::size_t n_qubits,
+                                      std::size_t count) {
+  if (n_qubits < 1 || n_qubits > 63)
+    throw std::invalid_argument("SectorBasis: need 1 <= n_qubits <= 63");
+  const std::uint64_t all = (std::uint64_t{1} << n_qubits) - 1;
+  return SectorBasis(n_qubits, {{all, count}});
+}
+
+SectorBasis SectorBasis::spinful(std::size_t n_qubits, std::size_t n_up,
+                                 std::size_t n_down) {
+  if (n_qubits < 2 || n_qubits > 63 || n_qubits % 2 != 0)
+    throw std::invalid_argument(
+        "SectorBasis::spinful: need an even n_qubits in [2, 62]");
+  const std::uint64_t all = (std::uint64_t{1} << n_qubits) - 1;
+  const std::uint64_t even = all / 3;  // 0b...010101: the up (spin-0) modes
+  return SectorBasis(n_qubits, {{even, n_up}, {all & ~even, n_down}});
+}
+
+std::vector<SpeciesSector> SectorBasis::species() const {
+  std::vector<SpeciesSector> out;
+  out.reserve(species_.size());
+  for (const Species& s : species_) out.push_back({s.mask, s.count});
+  return out;
+}
+
+bool SectorBasis::contains(std::uint64_t config) const {
+  if ((config >> n_qubits_) != 0) return false;
+  for (const Species& s : species_)
+    if (static_cast<std::size_t>(std::popcount(config & s.mask)) != s.count)
+      return false;
+  return true;
+}
+
+std::size_t SectorBasis::rank(std::uint64_t config) const {
+  assert(contains(config));
+  std::size_t r = 0;
+  for (const Species& s : species_)
+    r += combinadic_rank(gather_bits(config, s.mask)) * s.stride;
+  return r;
+}
+
+std::uint64_t SectorBasis::config_at(std::size_t r) const {
+  assert(r < dim_);
+  std::uint64_t config = 0;
+  for (const Species& s : species_) {
+    const std::size_t rs = (r / s.stride) % s.dim;
+    config |= scatter_bits(combinadic_unrank(rs, s.bits, s.count), s.mask);
+  }
+  return config;
+}
+
+std::uint64_t SectorBasis::first_config() const {
+  std::uint64_t config = 0;
+  for (const Species& s : species_) config |= scatter_bits(s.bottom, s.mask);
+  return config;
+}
+
+std::uint64_t SectorBasis::next_config(std::uint64_t config) const {
+  assert(contains(config));
+  // Mixed-radix increment, species 0 fastest: advance the first species that
+  // has a successor, resetting the ones that wrapped below it.
+  for (const Species& s : species_) {
+    const std::uint64_t w = gather_bits(config, s.mask);
+    if (s.dim > 1 && w != s.top)
+      return (config & ~s.mask) | scatter_bits(next_same_popcount(w), s.mask);
+    config = (config & ~s.mask) | scatter_bits(s.bottom, s.mask);
+  }
+  return config;  // every species wrapped: back to first_config()
+}
+
+bool SectorBasis::operator==(const SectorBasis& o) const {
+  if (n_qubits_ != o.n_qubits_ || species_.size() != o.species_.size())
+    return false;
+  for (std::size_t i = 0; i < species_.size(); ++i)
+    if (species_[i].mask != o.species_[i].mask ||
+        species_[i].count != o.species_[i].count)
+      return false;
+  return true;
+}
+
+}  // namespace gecos

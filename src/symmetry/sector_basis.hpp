@@ -1,0 +1,105 @@
+// SectorBasis: combinatorial enumeration of a U(1) number-conserved sector.
+//
+// Every Hamiltonian this library targets conserves particle number (the
+// Hubbard builders are pinned to [H, N] = 0 at the CAR and Pauli level), yet
+// the full statevector carries all 2^n amplitudes. A SectorBasis enumerates
+// only the occupation configurations with fixed particle count — per
+// *species*: a set of disjoint qubit masks, each with its own conserved
+// count, so a spinful (N_up, N_down) product sector is the two-species case
+// and a plain fixed-N sector the one-species case. The half-filled (5,5)
+// sector of the n = 20 spinful lattice has C(10,5)^2 = 63,504 configurations
+// against 2^20 = 1,048,576 full-space amplitudes, and the ratio grows fast
+// enough with n to bring n = 28-32 lattices inside the Krylov machinery.
+//
+// Ranking is combinadic (table-driven): within one species the compacted
+// occupation word w with set bits p_1 < ... < p_k has
+// rank(w) = sum_i C(p_i, i), which enumerates the C(bits, k) words in
+// ascending numeric order; species compose mixed-radix with species 0
+// fastest. rank/unrank are O(n) table lookups with no allocation, so the
+// sector-restricted operator kernels (src/symmetry/sector_operator.hpp) can
+// rank on the hot path. See DESIGN.md "Symmetry sectors".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gecos {
+
+/// One conserved species of a sector: `count` particles on the qubits of
+/// `mask` (bit q of a configuration = occupation of qubit/JW mode q).
+struct SpeciesSector {
+  std::uint64_t mask = 0;  ///< occupation bits belonging to this species
+  std::size_t count = 0;   ///< conserved particle number on those bits
+};
+
+/// Enumeration of the occupation configurations of a product of
+/// fixed-particle-number species, with O(n) table-driven rank/unrank.
+class SectorBasis {
+ public:
+  /// Sector over n_qubits (1..63) from explicit species. The species masks
+  /// must be nonzero, pairwise disjoint, and cover all n qubits; each count
+  /// must not exceed its mask's popcount. Throws std::invalid_argument on
+  /// any violation (or when the sector dimension would overflow size_t).
+  SectorBasis(std::size_t n_qubits, std::vector<SpeciesSector> species);
+
+  /// Single-species sector: `count` particles anywhere on n_qubits.
+  static SectorBasis fixed_number(std::size_t n_qubits, std::size_t count);
+  /// Spinful (N_up, N_down) product sector in the spin-fastest mode layout
+  /// of fermion/hubbard.hpp: up modes are the even qubits, down modes the
+  /// odd qubits. n_qubits must be even.
+  static SectorBasis spinful(std::size_t n_qubits, std::size_t n_up,
+                             std::size_t n_down);
+
+  /// Full-space qubit count n and sector dimension (product of the
+  /// per-species binomials).
+  std::size_t n_qubits() const { return n_qubits_; }
+  std::size_t dim() const { return dim_; }
+
+  /// The species (mask, count) pairs, in construction order (= mixed-radix
+  /// order, species 0 fastest).
+  std::vector<SpeciesSector> species() const;
+
+  /// True when the configuration lies in the sector (per-species popcounts
+  /// match; no occupation outside the species masks).
+  bool contains(std::uint64_t config) const;
+
+  /// Rank of a configuration, in [0, dim()). Precondition (debug-asserted):
+  /// contains(config). Allocation-free.
+  std::size_t rank(std::uint64_t config) const;
+
+  /// Configuration of rank r (inverse of rank). Precondition
+  /// (debug-asserted): r < dim(). Allocation-free.
+  std::uint64_t config_at(std::size_t r) const;
+
+  /// The rank-0 configuration (each species' count lowest mask bits set).
+  std::uint64_t first_config() const;
+
+  /// Successor in rank order: config_at(rank(config) + 1), via per-species
+  /// Gosper steps instead of a full unrank. Precondition (debug-asserted):
+  /// contains(config); the successor of the last configuration wraps to
+  /// first_config(). Allocation-free.
+  std::uint64_t next_config(std::uint64_t config) const;
+
+  /// Two bases are equal when they enumerate the same sector: same qubit
+  /// count and same (mask, count) species sequence.
+  bool operator==(const SectorBasis& o) const;
+
+ private:
+  /// Per-species enumeration data, precomputed at construction.
+  struct Species {
+    std::uint64_t mask = 0;    // occupation bits of the species
+    std::size_t count = 0;     // conserved popcount
+    std::size_t bits = 0;      // popcount(mask)
+    std::size_t dim = 0;       // C(bits, count)
+    std::size_t stride = 0;    // mixed-radix stride in the sector rank
+    std::uint64_t bottom = 0;  // compact word of the lowest member
+    std::uint64_t top = 0;     // compact word of the highest member
+  };
+
+  std::size_t n_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<Species> species_;
+};
+
+}  // namespace gecos

@@ -1,0 +1,164 @@
+#include "symmetry/sector_operator.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ops/term.hpp"
+#include "util/parallel.hpp"
+
+namespace gecos {
+
+namespace {
+
+/// Rewrites one SCB word into the transition-canonical family: every X/Y
+/// factor branches into {s, s+} (X = s + s+, Y = i s+ - i s), all other
+/// factors pass through. Accumulates the 2^f branch words (f = number of
+/// X/Y factors) into `out`, where canceling branches of different input
+/// words merge away exactly.
+void canonicalize_word(const std::vector<Scb>& word, cplx coeff, ScbSum& out) {
+  std::vector<std::size_t> xy;
+  for (std::size_t q = 0; q < word.size(); ++q)
+    if (word[q] == Scb::X || word[q] == Scb::Y) xy.push_back(q);
+  // 2^f branches per word: physical number-conserving terms carry at most a
+  // handful of X/Y factors (a hop is two), so an X/Y-heavy word signals a
+  // non-conserving operator long before the expansion could blow up.
+  if (xy.size() > 24)
+    throw std::invalid_argument(
+        "SectorOperator: word with > 24 X/Y factors cannot be "
+        "canonicalized (and cannot conserve particle number)");
+  std::vector<Scb> branch = word;
+  for (std::uint64_t g = 0; g < (std::uint64_t{1} << xy.size()); ++g) {
+    cplx c = coeff;
+    for (std::size_t i = 0; i < xy.size(); ++i) {
+      const bool raise = ((g >> i) & 1) != 0;
+      branch[xy[i]] = raise ? Scb::Sp : Scb::Sm;
+      if (word[xy[i]] == Scb::Y) c *= raise ? cplx(0.0, 1.0) : cplx(0.0, -1.0);
+    }
+    out.add(branch, c);
+  }
+}
+
+}  // namespace
+
+SectorOperator::SectorOperator(SectorBasis basis, const ScbSum& h)
+    : basis_(std::move(basis)) {
+  compile(h);
+}
+
+SectorOperator::SectorOperator(SectorBasis basis, const PauliSum& h)
+    : basis_(std::move(basis)) {
+  // Pauli strings are SCB words already ({I,X,Y,Z} is a subset of the
+  // basis); route through an ScbSum so both constructors share the
+  // canonicalization and the kernel compiler.
+  ScbSum s(h.num_qubits());
+  for (const auto& [str, coeff] : h.sorted_terms()) s.add(str.ops(), coeff);
+  compile(s);
+}
+
+void SectorOperator::compile(const ScbSum& h) {
+  if (h.empty())
+    throw std::invalid_argument("SectorOperator: empty operator sum");
+  if (h.num_qubits() != basis_.n_qubits())
+    throw std::invalid_argument("SectorOperator: qubit-count mismatch");
+
+  // Transition-canonical rewrite (see the header comment): after this,
+  // every word moves a definite particle count per species.
+  ScbSum canon(h.num_qubits());
+  for (const auto& [word, coeff] : h.terms())
+    canonicalize_word(word, coeff, canon);
+
+  // Conservation check + compilation in one pass. Coefficients here are
+  // exact +-1 / +-i multiples of the input coefficients and equal-magnitude
+  // branches cancel exactly in floating point (ScbSum::add erases them at
+  // its own 1e-14 merge tolerance), so the skip threshold is the same small
+  // ABSOLUTE epsilon — scaling it by the sum's magnitude would silently
+  // drop genuine small terms from sums with large coefficient disparity,
+  // quietly compiling a different operator. Dirt above this threshold with
+  // a nonzero species delta throws instead: loud beats wrong.
+  const double tol = 1e-14;
+  const auto species = basis_.species();
+  std::vector<SectorKernel> diagonal;
+  for (const auto& [word, coeff] : canon.terms()) {
+    if (std::abs(coeff) <= tol) continue;
+    for (const SpeciesSector& s : species) {
+      int delta = 0;
+      for (std::size_t q = 0; q < word.size(); ++q) {
+        if (!((s.mask >> q) & 1)) continue;
+        if (word[q] == Scb::Sp) ++delta;
+        else if (word[q] == Scb::Sm) --delta;
+      }
+      if (delta != 0)
+        throw std::invalid_argument(
+            "SectorOperator: operator does not conserve a species particle "
+            "number (nonzero sector-changing component)");
+    }
+    const TermKernel tk(ScbTerm(coeff, word, false));
+    const SectorKernel k{tk.flip, tk.select_mask, tk.select_val, tk.sign_mask,
+                         tk.base};
+    (k.flip == 0 ? diagonal : kernels_).push_back(k);
+  }
+  num_diagonal_ = diagonal.size();
+  if (kernels_.empty() && diagonal.empty())
+    throw std::invalid_argument(
+        "SectorOperator: operator vanishes in canonical form");
+
+  // Precompute the rank -> configuration table (one enumeration walk; the
+  // hot loop only loads it) and fuse every diagonal word into one per-rank
+  // coefficient vector: U/mu-style terms then cost a single pass per apply
+  // instead of one sweep each.
+  const std::size_t d = basis_.dim();
+  configs_.resize(d);
+  std::uint64_t cfg = basis_.first_config();
+  for (std::size_t r = 0; r < d; ++r) {
+    configs_[r] = cfg;
+    cfg = basis_.next_config(cfg);
+  }
+  if (!diagonal.empty()) {
+    diag_.assign(d, cplx(0.0));
+    for (const SectorKernel& k : diagonal) {
+      parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::uint64_t c = configs_[r];
+          if ((c & k.select_mask) == k.select_val) {
+            const bool neg = (std::popcount(c & k.sign_mask) & 1) != 0;
+            diag_[r] += neg ? -k.base : k.base;
+          }
+        }
+      });
+    }
+  }
+}
+
+void SectorOperator::apply_add(std::span<const cplx> x, std::span<cplx> y,
+                               cplx scale) const {
+  assert(x.data() != y.data() &&
+         "SectorOperator::apply_add: x and y must not alias");
+  assert(x.size() == basis_.dim() && y.size() == basis_.dim());
+  const std::size_t d = basis_.dim();
+  // Fused diagonal first (rank-preserving: each chunk owns its y range).
+  if (!diag_.empty()) {
+    parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t r = lo; r < hi; ++r) y[r] += scale * diag_[r] * x[r];
+    });
+  }
+  // Hop kernels, term order: x -> x ^ flip is a bijection on configurations
+  // and stays inside the sector (conservation), so the scattered writes of
+  // distinct input chunks never collide.
+  for (const SectorKernel& k : kernels_) {
+    const cplx base = k.base * scale;
+    parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const std::uint64_t cfg = configs_[r];
+        if ((cfg & k.select_mask) == k.select_val) {
+          const bool neg = (std::popcount(cfg & k.sign_mask) & 1) != 0;
+          y[basis_.rank(cfg ^ k.flip)] += (neg ? -base : base) * x[r];
+        }
+      }
+    });
+  }
+}
+
+}  // namespace gecos

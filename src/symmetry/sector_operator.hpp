@@ -1,0 +1,107 @@
+// SectorOperator: a number-conserving Hamiltonian restricted to a sector.
+//
+// Takes a symbolic sum (ScbSum or PauliSum) that commutes with every species
+// number operator of a SectorBasis and applies it matrix-free *within* the
+// sector: the LinearOperator dim() is the sector dimension, so Lanczos,
+// KrylovEvolver and the imaginary-time projector run on sector vectors
+// unchanged — same interface, exponentially fewer amplitudes.
+//
+// Construction first rewrites the sum into *transition-canonical* form:
+// every X/Y factor branches into the transition family (X = s + s+,
+// Y = i s+ - i s; 2^f words per term with f X/Y factors, f = 0 for every
+// Jordan-Wigner-derived fermionic sum), and identical words merge. This
+// matters because the SCB spans the single-qubit operator space with eight
+// elements, so a sum can be number-conserving as an OPERATOR while no
+// individual word is (XX + YY hopping); after canonicalization each word
+// moves a definite particle count per species, branches that cancel
+// (s+ s+ of XX against YY) vanish exactly, and conservation becomes a
+// per-word test: any surviving word with a nonzero species number change
+// makes construction throw. (Sums that conserve only through diagonal
+// identities like I = n + m split across words are rejected conservatively
+// — none of the builders in this repo produce such forms.)
+//
+// Each surviving word then compiles into a mask kernel (the
+// flip/select/sign decomposition of ops/term.hpp's TermKernel). All
+// *diagonal* kernels (no flips — the U and mu terms of a Hubbard
+// Hamiltonian) are folded into ONE precomputed per-rank diagonal vector at
+// construction, so they cost a single fused pass per apply instead of one
+// sweep each; every *hop* kernel moves each selected configuration to its
+// ranked image rank(x ^ flip), which conservation guarantees is in the
+// sector. The rank -> configuration table is also precomputed (8 bytes per
+// sector state), so the hot loop never walks the enumeration.
+//
+// apply_add parallelizes the diagonal pass and each hop kernel over
+// contiguous rank chunks of the input; a kernel's configuration map
+// x -> x ^ flip is a bijection, so no two chunks ever write the same output
+// rank (the library-wide output-partitioning rule) and results are
+// deterministic for any thread count. Nothing allocates after
+// construction. See DESIGN.md "Symmetry sectors".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ops/linear_op.hpp"
+#include "ops/pauli.hpp"
+#include "ops/scb_sum.hpp"
+#include "symmetry/sector_basis.hpp"
+
+namespace gecos {
+
+/// Matrix-free restriction of a number-conserving operator to a sector.
+class SectorOperator : public LinearOperator {
+ public:
+  /// Compiles the sum's bare terms into sector kernels. Throws
+  /// std::invalid_argument when the sum is empty, its qubit count differs
+  /// from the basis, or the transition-canonical conservation check finds a
+  /// word with a nonzero species particle-number change.
+  SectorOperator(SectorBasis basis, const ScbSum& h);
+  /// Same, from a Pauli-string sum (each string is an SCB word already).
+  SectorOperator(SectorBasis basis, const PauliSum& h);
+
+  /// The sector enumeration this operator is restricted to.
+  const SectorBasis& basis() const { return basis_; }
+  /// Full-space qubit count n of the underlying operator.
+  std::size_t n_qubits() const override { return basis_.n_qubits(); }
+  /// Sector dimension — the vector length apply_add works on (NOT 2^n).
+  std::size_t dim() const override { return basis_.dim(); }
+  /// Surviving transition-canonical words: hop kernels plus the number of
+  /// diagonal words fused into the precomputed diagonal (X/Y factors branch
+  /// at construction and canceling branches merge away, so this can differ
+  /// from the input term count).
+  std::size_t num_kernels() const { return kernels_.size() + num_diagonal_; }
+
+  /// Two-argument accumulate and overwriting apply from the base class.
+  using LinearOperator::apply_add;
+  /// y += scale * (P H P) x over sector ranks (x.size() == dim(); x and y
+  /// distinct buffers, asserted). One parallel sweep per kernel,
+  /// allocation-free and deterministic for any thread count.
+  void apply_add(std::span<const cplx> x, std::span<cplx> y,
+                 cplx scale) const override;
+
+ private:
+  /// One transition-canonical hop word as sector masks (see ops/term.hpp
+  /// TermKernel for the flip/select/sign decomposition). Canonical words
+  /// have every flipped bit select-constrained, so no membership filtering
+  /// is ever needed at apply time.
+  struct SectorKernel {
+    std::uint64_t flip = 0;
+    std::uint64_t select_mask = 0;
+    std::uint64_t select_val = 0;
+    std::uint64_t sign_mask = 0;
+    cplx base;
+  };
+
+  /// Shared constructor body: canonicalization + conservation check +
+  /// kernel compilation + config/diagonal table precomputation.
+  void compile(const ScbSum& h);
+
+  SectorBasis basis_;
+  std::vector<SectorKernel> kernels_;        // hop kernels, term order
+  std::size_t num_diagonal_ = 0;             // words fused into diag_
+  std::vector<std::uint64_t> configs_;       // rank -> configuration table
+  std::vector<cplx> diag_;                   // fused diagonal (empty if none)
+};
+
+}  // namespace gecos

@@ -1,0 +1,95 @@
+#include "symmetry/sector_vector.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "linalg/blas1.hpp"
+
+namespace gecos {
+
+SectorVector::SectorVector(SectorBasis basis) : basis_(std::move(basis)) {
+  data_.assign(basis_.dim(), cplx(0.0));
+  data_[0] = cplx(1.0);
+}
+
+SectorVector SectorVector::config_state(SectorBasis basis,
+                                        std::uint64_t config) {
+  if (!basis.contains(config))
+    throw std::invalid_argument(
+        "SectorVector::config_state: configuration not in the sector");
+  SectorVector v(std::move(basis));
+  v.data_[0] = cplx(0.0);
+  v.data_[v.basis_.rank(config)] = cplx(1.0);
+  return v;
+}
+
+SectorVector SectorVector::random(SectorBasis basis, std::uint64_t seed) {
+  SectorVector v(std::move(basis));
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
+  std::normal_distribution<double> g;
+  for (cplx& a : v.data_) a = cplx(g(rng), g(rng));
+  v.normalize();
+  return v;
+}
+
+SectorVector SectorVector::project(SectorBasis basis, const StateVector& full) {
+  if (full.n_qubits() != basis.n_qubits())
+    throw std::invalid_argument("SectorVector::project: qubit-count mismatch");
+  SectorVector v(std::move(basis));
+  std::uint64_t cfg = v.basis_.first_config();
+  for (std::size_t r = 0; r < v.dim(); ++r) {
+    v.data_[r] = full[cfg];
+    cfg = v.basis_.next_config(cfg);
+  }
+  return v;
+}
+
+double SectorVector::norm() const { return vec_norm(data_); }
+
+void SectorVector::normalize() {
+  const double n = norm();
+  if (n == 0.0)
+    throw std::invalid_argument("SectorVector::normalize: zero vector");
+  vec_scale(amps(), cplx(1.0 / n));
+}
+
+cplx SectorVector::inner(const SectorVector& o) const {
+  if (!(basis_ == o.basis_))
+    throw std::invalid_argument("SectorVector::inner: sector mismatch");
+  return vec_dot(data_, o.data_);
+}
+
+double SectorVector::max_abs_diff(const SectorVector& o) const {
+  if (!(basis_ == o.basis_))
+    throw std::invalid_argument("SectorVector::max_abs_diff: sector mismatch");
+  return vec_max_abs_diff(data_, o.data_);
+}
+
+AlignedVec& SectorVector::scratch() const {
+  if (scratch_.size() != data_.size()) scratch_.resize(data_.size());
+  return scratch_;
+}
+
+void SectorVector::apply(const LinearOperator& op) {
+  op.apply_inplace(amps(), scratch());
+}
+
+cplx SectorVector::expectation(const LinearOperator& op) const {
+  AlignedVec& s = scratch();
+  op.apply(data_, s);
+  return vec_dot(data_, s);
+}
+
+StateVector SectorVector::embed() const {
+  StateVector full = StateVector::basis(basis_.n_qubits(), 0);
+  full[0] = cplx(0.0);
+  std::uint64_t cfg = basis_.first_config();
+  for (std::size_t r = 0; r < dim(); ++r) {
+    full[cfg] = data_[r];
+    cfg = basis_.next_config(cfg);
+  }
+  return full;
+}
+
+}  // namespace gecos

@@ -1,0 +1,85 @@
+// SectorVector: the owning state type of a U(1) symmetry sector.
+//
+// The sector-native sibling of StateVector: it owns dim(basis) amplitudes in
+// the same 64-byte-aligned storage, indexed by SectorBasis rank instead of
+// by basis-state bit pattern, and carries the identical norm / inner /
+// apply / expectation surface, so the Krylov solvers and every measurement
+// idiom work on sector states unchanged. embed() and project() convert to
+// and from the full 2^n space: embed writes each sector amplitude at its
+// configuration's full-space index (zero elsewhere), project reads them
+// back — project(embed(v)) is exactly v (amplitudes are copied, never
+// combined), and project discards any amplitude outside the sector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ops/linear_op.hpp"
+#include "state/state_vector.hpp"
+#include "symmetry/sector_basis.hpp"
+
+namespace gecos {
+
+/// Owning sector-dimension amplitude vector over a SectorBasis.
+class SectorVector {
+ public:
+  /// The rank-0 configuration state |first_config()> of the sector.
+  explicit SectorVector(SectorBasis basis);
+
+  /// Basis (occupation) state |config>; throws std::invalid_argument when
+  /// the configuration is not in the sector.
+  static SectorVector config_state(SectorBasis basis, std::uint64_t config);
+  /// Normalized Gaussian-random sector state from a fixed seed.
+  static SectorVector random(SectorBasis basis, std::uint64_t seed);
+  /// Restriction of a full 2^n state to the sector: amplitude of rank r is
+  /// full[config_at(r)]; everything outside the sector is discarded. Throws
+  /// std::invalid_argument on a qubit-count mismatch.
+  static SectorVector project(SectorBasis basis, const StateVector& full);
+
+  /// The sector enumeration and its dimension (= amplitude count).
+  const SectorBasis& basis() const { return basis_; }
+  std::size_t dim() const { return data_.size(); }
+  /// Full-space qubit count n of the underlying sector.
+  std::size_t n_qubits() const { return basis_.n_qubits(); }
+
+  /// Amplitude views (index = SectorBasis rank).
+  std::span<cplx> amps() { return data_; }
+  std::span<const cplx> amps() const { return data_; }
+  /// Unchecked single-amplitude access by rank.
+  cplx& operator[](std::size_t r) { return data_[r]; }
+  const cplx& operator[](std::size_t r) const { return data_[r]; }
+
+  /// Euclidean norm and in-place normalization (throws on the zero vector).
+  double norm() const;
+  void normalize();
+
+  /// Inner product <this|o> (conjugate-linear in *this); throws on a
+  /// sector mismatch.
+  cplx inner(const SectorVector& o) const;
+  /// Max |a_r - o_r| against another vector of the same sector.
+  double max_abs_diff(const SectorVector& o) const;
+
+  /// In-place x = A x through the internal scratch buffer. The operator's
+  /// dim() must equal the sector dimension (a SectorOperator over the same
+  /// basis; throws otherwise).
+  void apply(const LinearOperator& op);
+  /// <x| A |x> through the internal scratch buffer; same dimension
+  /// requirement and the same one-owner concurrency rule as
+  /// StateVector::expectation.
+  cplx expectation(const LinearOperator& op) const;
+
+  /// Embedding into the full 2^n space: amplitude r lands at full-space
+  /// index config_at(r), all other amplitudes are zero. Requires
+  /// n_qubits() <= 30 (the StateVector limit) — the whole point of large
+  /// sectors is that this is impossible at scale.
+  StateVector embed() const;
+
+ private:
+  AlignedVec& scratch() const;
+
+  SectorBasis basis_;
+  AlignedVec data_;
+  mutable AlignedVec scratch_;  // lazily sized; cache, not value state
+};
+
+}  // namespace gecos

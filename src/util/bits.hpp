@@ -1,11 +1,16 @@
-// Bit-scatter helper for chunking the selected-state walks.
+// Bit-scatter/gather helpers for chunking the selected-state walks and the
+// symmetry-sector ranking.
 //
 // The matrix-free SCB kernels enumerate the 2^f subsets of a free-bit mask
 // with the classic `sub = (sub - mask) & mask` successor, which is inherently
 // sequential. scatter_bits gives random access into that enumeration: the
 // k-th subset (in the successor's ascending order) is scatter_bits(k, mask),
 // so a parallel chunk [k0, k1) seeds its local walk with scatter_bits(k0,
-// mask) and then runs the cheap successor within the chunk.
+// mask) and then runs the cheap successor within the chunk. gather_bits is
+// the inverse permutation (PEXT), used by the sector ranking in
+// src/symmetry/sector_basis.hpp to compact one species' occupation bits;
+// next_same_popcount (Gosper's hack) is the fixed-Hamming-weight successor
+// the sector walks advance with.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +37,36 @@ inline std::uint64_t scatter_bits(std::uint64_t idx, std::uint64_t mask) {
   }
   return out;
 #endif
+}
+
+/// Extracts the bits of x selected by mask into a compact low-bit word,
+/// lowest mask bit first (x86 PEXT; portable loop elsewhere). Inverse of
+/// scatter_bits on the mask bits: gather_bits(scatter_bits(k, m), m) == k.
+inline std::uint64_t gather_bits(std::uint64_t x, std::uint64_t mask) {
+#ifdef __BMI2__
+  return _pext_u64(x, mask);
+#else
+  std::uint64_t out = 0;
+  int i = 0;
+  while (mask != 0) {
+    const std::uint64_t low = mask & (~mask + 1);
+    if (x & low) out |= std::uint64_t{1} << i;
+    ++i;
+    mask ^= low;
+  }
+  return out;
+#endif
+}
+
+/// Next-larger word with the same popcount (Gosper's hack): the successor of
+/// a fixed-Hamming-weight walk in ascending numeric order. Precondition:
+/// x != 0 (the weight-0 walk has a single element and no successor). The
+/// caller bounds the walk — past the largest n-bit member the result simply
+/// carries into bit n and beyond.
+inline std::uint64_t next_same_popcount(std::uint64_t x) {
+  const std::uint64_t c = x & (~x + 1);
+  const std::uint64_t r = x + c;
+  return r | (((x ^ r) >> 2) / c);
 }
 
 }  // namespace gecos

@@ -1,0 +1,177 @@
+// SectorBasis suite: the ranking bit-tricks (gather/scatter inverse pair,
+// Gosper successor), combinadic rank/unrank bijection and ascending order
+// against brute-force enumeration for single-species and spinful product
+// sectors, the next_config walk, containment, the Hubbard sector pickers,
+// and the constructor error paths.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "fermion/hubbard.hpp"
+#include "symmetry/sector_basis.hpp"
+#include "test_util.hpp"
+#include "util/bits.hpp"
+
+using namespace gecos;
+
+namespace {
+
+/// All configurations of the sector by brute force over 2^n, in numeric
+/// order (the order the mixed-radix combinadic ranking must reproduce when
+/// species masks are contiguous from bit 0... in general, numeric order of
+/// the per-species compact words composed species-0-fastest).
+std::vector<std::uint64_t> brute_force(const SectorBasis& b) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t c = 0; c < (std::uint64_t{1} << b.n_qubits()); ++c)
+    if (b.contains(c)) out.push_back(c);
+  return out;
+}
+
+/// Sorts brute-force configs into the basis' mixed-radix order: key =
+/// sum_s compact_word_s * stride_s with species 0 fastest — the numeric
+/// compact-word pair ordered down-species-major.
+std::vector<std::uint64_t> in_rank_order(const SectorBasis& b) {
+  std::vector<std::uint64_t> all = brute_force(b);
+  const auto species = b.species();
+  std::sort(all.begin(), all.end(), [&](std::uint64_t x, std::uint64_t y) {
+    for (std::size_t s = species.size(); s-- > 0;) {
+      const std::uint64_t wx = gather_bits(x, species[s].mask);
+      const std::uint64_t wy = gather_bits(y, species[s].mask);
+      if (wx != wy) return wx < wy;
+    }
+    return false;
+  });
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  // -- bit tricks ------------------------------------------------------------
+  {
+    const std::uint64_t mask = 0b1011010110;
+    for (std::uint64_t k = 0; k < 64; ++k)
+      CHECK_EQ(gather_bits(scatter_bits(k, mask), mask), k);
+    // Gosper: the weight-3 walk over 6 bits enumerates all C(6,3) = 20
+    // members ascending.
+    std::uint64_t w = 0b111;
+    int steps = 0;
+    std::uint64_t prev = 0;
+    while (w < (1u << 6)) {
+      CHECK(w > prev);
+      CHECK_EQ(std::popcount(w), 3);
+      prev = w;
+      w = next_same_popcount(w);
+      ++steps;
+    }
+    CHECK_EQ(steps, 20);
+  }
+
+  // -- single-species rank/unrank vs brute force -----------------------------
+  for (std::size_t n : {1u, 5u, 8u, 10u}) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      const SectorBasis b = SectorBasis::fixed_number(n, k);
+      const std::vector<std::uint64_t> all = brute_force(b);
+      CHECK_EQ(b.dim(), all.size());
+      std::uint64_t walk = b.first_config();
+      for (std::size_t r = 0; r < all.size(); ++r) {
+        CHECK_EQ(b.config_at(r), all[r]);  // ascending numeric order
+        CHECK_EQ(b.rank(all[r]), r);
+        CHECK_EQ(walk, all[r]);
+        walk = b.next_config(walk);
+      }
+      CHECK_EQ(walk, b.first_config());  // the walk wraps at the end
+    }
+  }
+
+  // -- spinful product sector vs brute force ---------------------------------
+  {
+    const SectorBasis b = SectorBasis::spinful(8, 2, 1);  // C(4,2)*C(4,1)=24
+    CHECK_EQ(b.dim(), std::size_t{24});
+    const std::vector<std::uint64_t> ordered = in_rank_order(b);
+    CHECK_EQ(ordered.size(), b.dim());
+    std::uint64_t walk = b.first_config();
+    for (std::size_t r = 0; r < ordered.size(); ++r) {
+      CHECK_EQ(b.config_at(r), ordered[r]);
+      CHECK_EQ(b.rank(ordered[r]), r);
+      CHECK_EQ(walk, ordered[r]);
+      walk = b.next_config(walk);
+    }
+    // Containment: wrong per-species counts are rejected even at the right
+    // total count.
+    CHECK(b.contains(0b00000111));   // up bits {0,2}, down bit {1}: (2,1)
+    CHECK(!b.contains(0b00101010));  // down bits {1,3,5}: (0,3) — wrong split
+    CHECK(!b.contains(0b00001110));  // up {2}, down {1,3}: (1,2) — wrong split
+  }
+  {
+    // The example from hubbard workloads: n = 20, (5,5) half filling.
+    const SectorBasis b = SectorBasis::spinful(20, 5, 5);
+    CHECK_EQ(b.dim(), std::size_t{63504});  // C(10,5)^2
+    // Spot-check the bijection on a stride through the sector.
+    for (std::size_t r = 0; r < b.dim(); r += 997) {
+      const std::uint64_t c = b.config_at(r);
+      CHECK(b.contains(c));
+      CHECK_EQ(b.rank(c), r);
+    }
+  }
+
+  // -- Hubbard pickers -------------------------------------------------------
+  {
+    HubbardParams p;
+    p.lx = 5;
+    p.ly = 2;
+    p.spinful = true;
+    CHECK_EQ(hubbard_species_mask(p, 0), std::uint64_t{0x55555});
+    CHECK_EQ(hubbard_species_mask(p, 1), std::uint64_t{0xAAAAA});
+    const SectorBasis b = hubbard_sector(p, 5, 5);
+    CHECK_EQ(b.dim(), std::size_t{63504});
+    CHECK(b == SectorBasis::spinful(20, 5, 5));
+    // The CDW state occupies 5 sites with both spins: its sector is (5,5).
+    const SectorBasis c = hubbard_sector_of(p, hubbard_cdw_occupation(p));
+    CHECK(c == b);
+    CHECK(c.contains(hubbard_cdw_occupation(p)));
+
+    HubbardParams q;  // spinless chain
+    q.lx = 6;
+    CHECK_EQ(hubbard_species_mask(q, 0), std::uint64_t{0x3F});
+    CHECK_EQ(hubbard_sector(q, 3).dim(), std::size_t{20});
+    CHECK(hubbard_sector_of(q, 0b101010) == hubbard_sector(q, 3));
+  }
+
+  // -- error paths -----------------------------------------------------------
+  {
+    bool threw = false;
+    try {
+      SectorBasis::fixed_number(4, 5);  // count > qubits
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+    threw = false;
+    try {
+      SectorBasis(4, {{0b0011, 1}, {0b0110, 1}});  // overlapping masks
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+    threw = false;
+    try {
+      SectorBasis(4, {{0b0011, 1}});  // masks must cover all qubits
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+    threw = false;
+    try {
+      HubbardParams q;
+      q.lx = 4;
+      hubbard_sector(q, 2, 1);  // spinless with n_down != 0
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return gecos::test::finish("test_sector_basis");
+}

@@ -1,0 +1,156 @@
+// SumOperator algebraic surface: previously only exercised incidentally by
+// the solver suites, this pins (1) apply_add scale-factor correctness of
+// mixed PauliSum + ScbSum sums against the dense reference matrix, (2)
+// Hermiticity of Hermitian-part sums as an operator property
+// (<x|A y> == <A x|y>), (3) adjoint consistency of a deliberately
+// non-Hermitian mix via dense matrices, and (4) accumulate semantics with
+// coefficient folding (coeff into scale, no intermediate buffers).
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "fermion/hubbard.hpp"
+#include "linalg/blas1.hpp"
+#include "linalg/matrix.hpp"
+#include "ops/pauli.hpp"
+#include "ops/scb_sum.hpp"
+#include "ops/sum_operator.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+namespace {
+
+/// y = M x by dense row sweeps (reference only).
+std::vector<cplx> dense_apply(const Matrix& m, const std::vector<cplx>& x) {
+  std::vector<cplx> y(m.rows(), cplx(0.0));
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) y[r] += m(r, c) * x[c];
+  return y;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 6;
+  const std::size_t dim = std::size_t{1} << n;
+  std::mt19937 rng(20260730);
+
+  // A mixed-representation sum: the SCB Hubbard Hamiltonian plus a Pauli
+  // transverse field, with complex combination coefficients.
+  HubbardParams p;
+  p.lx = 6;
+  p.u = 2.0;
+  p.mu = 0.3;
+  const auto scb = std::make_shared<ScbSum>(hubbard_scb(p));
+  auto pauli = std::make_shared<PauliSum>(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    std::vector<Scb> ops(n, Scb::I);
+    ops[q] = Scb::X;
+    pauli->add(PauliString(ops), cplx(0.25));
+    ops[q] = Scb::Z;
+    pauli->add(PauliString(ops), cplx(-0.4));
+  }
+
+  const cplx ca(0.8, 0.0), cb(-1.3, 0.0);
+  SumOperator sum;
+  sum.add(scb, ca);
+  sum.add(pauli, cb);
+  CHECK_EQ(sum.size(), std::size_t{2});
+  CHECK_EQ(sum.n_qubits(), n);
+
+  const Matrix dense =
+      scb->to_matrix() * ca + pauli->to_matrix(n) * cb;
+
+  // -- apply_add scale-factor correctness vs dense ---------------------------
+  {
+    const std::vector<cplx> x = random_state(dim, rng);
+    for (const cplx s : {cplx(1.0), cplx(0.0), cplx(-0.7, 0.0),
+                         cplx(0.3, -1.1)}) {
+      std::vector<cplx> y(dim, cplx(0.2, -0.1));  // nonzero: accumulate check
+      std::vector<cplx> expect = y;
+      const std::vector<cplx> dx = dense_apply(dense, x);
+      for (std::size_t i = 0; i < dim; ++i) expect[i] += s * dx[i];
+      sum.apply_add(x, y, s);
+      CHECK(vec_max_abs_diff(y, expect) < 1e-12);
+    }
+  }
+
+  // -- Hermiticity as an operator property -----------------------------------
+  // Both parts are Hermitian and the combination is real, so the sum must
+  // satisfy <x|A y> == conj(<y|A x>) on random states.
+  {
+    CHECK(scb->is_hermitian());
+    CHECK(pauli->is_hermitian());
+    const std::vector<cplx> x = random_state(dim, rng);
+    const std::vector<cplx> y = random_state(dim, rng);
+    std::vector<cplx> ax(dim), ay(dim);
+    sum.apply(x, ax);
+    sum.apply(y, ay);
+    const cplx xay = vec_dot(x, ay);   // <x|A y>
+    const cplx yax = vec_dot(y, ax);   // <y|A x>
+    CHECK(std::abs(xay - std::conj(yax)) < 1e-12);
+  }
+
+  // -- adjoint of a non-Hermitian mix, via dense references ------------------
+  // SumOperator carries no symbolic adjoint; the adjoint identity
+  // <x|A y> == <A† x|y> is checked with the dense conjugate transpose.
+  {
+    SumOperator skew;
+    auto lower = std::make_shared<ScbSum>(n);
+    std::vector<Scb> word(n, Scb::I);
+    word[0] = Scb::Sp;
+    word[3] = Scb::Sm;
+    lower->add(word, cplx(0.9, 0.4));  // one bare (non-Hermitian) SCB word
+    skew.add(lower, cplx(1.0));
+    skew.add(pauli, cplx(0.0, 0.5));   // imaginary coefficient breaks H = H†
+    const Matrix skew_dense = lower->to_matrix() + pauli->to_matrix(n) * cplx(0.0, 0.5);
+    Matrix adj(dim, dim);
+    for (std::size_t r = 0; r < dim; ++r)
+      for (std::size_t c = 0; c < dim; ++c)
+        adj(r, c) = std::conj(skew_dense(c, r));
+
+    const std::vector<cplx> x = random_state(dim, rng);
+    const std::vector<cplx> y = random_state(dim, rng);
+    std::vector<cplx> ay(dim);
+    skew.apply(y, ay);
+    const std::vector<cplx> adx = dense_apply(adj, x);
+    const cplx lhs = vec_dot(x, ay);   // <x|A y>
+    cplx rhs(0.0);                     // <A† x|y>
+    for (std::size_t i = 0; i < dim; ++i) rhs += std::conj(adx[i]) * y[i];
+    CHECK(std::abs(lhs - rhs) < 1e-12);
+    // And the operator genuinely is non-Hermitian (the check above is not
+    // vacuous).
+    double asym = 0.0;
+    for (std::size_t r = 0; r < dim; ++r)
+      for (std::size_t c = 0; c < dim; ++c)
+        asym = std::max(asym,
+                        std::abs(skew_dense(r, c) - std::conj(skew_dense(c, r))));
+    CHECK(asym > 0.1);
+  }
+
+  // -- error paths: null part, qubit mismatch --------------------------------
+  {
+    SumOperator s2;
+    bool threw = false;
+    try {
+      s2.add(nullptr);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+    s2.add(pauli);
+    threw = false;
+    try {
+      HubbardParams q;
+      q.lx = 4;
+      s2.add(std::make_shared<ScbSum>(hubbard_scb(q)));  // 4 qubits vs 6
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return gecos::test::finish("test_sum_operator");
+}
