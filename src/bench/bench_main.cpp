@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +39,7 @@
 
 #include "evolve/trotter.hpp"
 #include "fermion/hubbard.hpp"
+#include "io/checkpoint.hpp"
 #include "fermion/jordan_wigner.hpp"
 #include "linalg/blas1.hpp"
 #include "linalg/expm.hpp"
@@ -233,7 +235,10 @@ void print_help(const char* prog) {
       "entries report scb_terms vs pauli_strings and the build time of each\n"
       "representation; parallel_apply and hubbard_quench report the threaded\n"
       "statevector/evolution throughput; lanczos_ground_state and\n"
-      "krylov_quench cover the Krylov solver layer; sector_* entries cover\n"
+      "krylov_quench cover the Krylov solver layer; lanczos_resume gates\n"
+      "checkpoint/restore (interrupt mid-solve, resume from the file,\n"
+      "require the recovered E0 within 1e-10 of the uninterrupted\n"
+      "reference); sector_* entries cover\n"
       "the U(1) symmetry-sector subsystem (sector_xcheck gates the sector\n"
       "ground state against the full-space value, sector_ground_state is\n"
       "the n >= 28 scale proof, sector_quench the sector-native evolution).\n"
@@ -747,6 +752,65 @@ int main(int argc, char** argv) {
           {"gap", gap},
           {"converged", lr.converged ? 1.0 : 0.0}}});
     return 0;
+  }});
+
+  sections.push_back({"lanczos_resume", [&] {
+    set_num_threads(k_threads);  // pin: identical under --only and full runs
+    // The checkpoint/restore gate on the same solve as lanczos_ground_state:
+    // interrupt a checkpointing run mid-flight at a matvec budget, resume
+    // from the file, and require the recovered ground state to match the
+    // uninterrupted reference to 1e-10 (the resumed trajectory is
+    // bit-identical for a fixed thread count, so this asserts the recorded
+    // n = 20 energy at full size and a self-computed reference at --quick).
+    const HubbardParams hq = quench_lattice(quick);
+    const std::size_t n = hubbard_num_modes(hq);
+    const ScbSum h = hubbard_scb(hq);
+    LanczosOptions lo;
+    lo.k = 2;
+    lo.tol = 1e-8;
+    const std::string ckpt = "bench_lanczos_resume.ckpt";
+    remove_checkpoint(ckpt);
+    double full_e0 = kFullE0N20;
+    if (quick) full_e0 = Lanczos(h, lo).solve().eigenvalues[0];
+
+    LanczosOptions li = lo;
+    li.checkpoint_path = ckpt;
+    li.checkpoint_interval = quick ? 10 : 25;
+    li.max_matvecs = quick ? 25 : 60;  // the interrupt: budget, then "crash"
+    Lanczos interrupted(h, li);
+    const std::size_t matvecs_at_interrupt = interrupted.solve().matvecs;
+
+    LanczosOptions lr2 = lo;
+    lr2.checkpoint_path = ckpt;
+    lr2.checkpoint_interval = li.checkpoint_interval;
+    Lanczos resumed(h, lr2);
+    const auto t0 = std::chrono::steady_clock::now();
+    const LanczosResult& rr = resumed.resume(ckpt);
+    const double resume_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    remove_checkpoint(ckpt);
+    const double diff = std::abs(rr.eigenvalues[0] - full_e0);
+    const bool pass = rr.converged && diff <= 1e-10;
+    std::printf("lanczos_resume n=%zu E0=%.10f |diff|=%.2e saved=%zu"
+                " matvecs=%zu t=%.2fs %s\n",
+                n, rr.eigenvalues[0], diff, rr.resumed_matvecs, rr.matvecs,
+                resume_s, pass ? "OK" : "MISMATCH");
+    results.push_back(
+        {"lanczos_resume",
+         {{"num_qubits", static_cast<double>(n)},
+          {"checkpoint_interval", static_cast<double>(li.checkpoint_interval)},
+          {"matvecs_at_interrupt", static_cast<double>(matvecs_at_interrupt)},
+          {"matvecs_saved_by_resume", static_cast<double>(rr.resumed_matvecs)},
+          {"matvecs", static_cast<double>(rr.matvecs)},
+          {"checkpoints_written", static_cast<double>(rr.checkpoints_written)},
+          {"resumed_e0", rr.eigenvalues[0]},
+          {"resumed_e0_abs_diff", diff},
+          {"max_norm_drift", rr.max_norm_drift},
+          {"max_ortho_loss", rr.max_ortho_loss},
+          {"seconds_to_converge", resume_s},
+          {"converged", rr.converged ? 1.0 : 0.0}}});
+    return pass ? 0 : 1;
   }});
 
   sections.push_back({"krylov_quench", [&] {

@@ -1,0 +1,343 @@
+// Checkpoint wire format: header/payload/digest assembly, atomic
+// tmp+fsync+rename writes with .bak rotation, and strict staged validation
+// on read (size floor -> magic -> checksum -> version -> descriptor).
+#include "io/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "io/xxhash.hpp"
+
+namespace gecos {
+
+namespace {
+
+/// Minimum possible file size: header + empty payload + trailing digest.
+constexpr std::size_t kMinFileSize = kCheckpointHeaderSize + 8;
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Reads a whole file into a byte vector; false when it cannot be opened.
+bool slurp(const std::string& path, std::vector<unsigned char>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    throw Error(ErrorKind::io_corrupt, path + ": ftell: " + errno_text());
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(static_cast<std::size_t>(size));
+  const std::size_t got = size ? std::fread(out.data(), 1, out.size(), f) : 0;
+  std::fclose(f);
+  if (got != out.size())
+    throw Error(ErrorKind::io_corrupt, path + ": short read");
+  return true;
+}
+
+/// fsync the directory containing `path` so the renames themselves are
+/// durable (best-effort: some filesystems reject directory fsync).
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash ? slash : 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Parses and validates a complete checkpoint image. The validation order
+/// is part of the format contract (documented in DESIGN.md): size floor,
+/// magic, checksum, version, payload-size consistency.
+Checkpoint parse(const std::string& path,
+                 std::vector<unsigned char>&& bytes) {
+  if (bytes.size() < kMinFileSize)
+    throw Error(ErrorKind::io_corrupt,
+                path + ": file too short (" + std::to_string(bytes.size()) +
+                    " bytes) to be a checkpoint");
+  if (std::memcmp(bytes.data(), kCheckpointMagic, sizeof(kCheckpointMagic)))
+    throw Error(ErrorKind::io_corrupt, path + ": bad magic");
+
+  const std::size_t hashed = bytes.size() - 8;
+  std::uint64_t stored;
+  std::memcpy(&stored, bytes.data() + hashed, 8);
+  if (xxh64(bytes.data(), hashed) != stored)
+    throw Error(ErrorKind::io_corrupt, path + ": checksum mismatch");
+
+  std::uint32_t version, kind_raw;
+  std::uint64_t payload_size;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  std::memcpy(&kind_raw, bytes.data() + 12, 4);
+  std::memcpy(&payload_size, bytes.data() + 16, 8);
+  if (version != kCheckpointVersion)
+    throw Error(ErrorKind::version_mismatch,
+                path + ": format version " + std::to_string(version) +
+                    ", this build reads version " +
+                    std::to_string(kCheckpointVersion));
+  if (payload_size != hashed - kCheckpointHeaderSize)
+    throw Error(ErrorKind::io_corrupt,
+                path + ": payload size field disagrees with file size");
+
+  Checkpoint ck;
+  ck.kind = static_cast<PayloadKind>(kind_raw);
+  ck.payload.assign(bytes.begin() + kCheckpointHeaderSize,
+                    bytes.begin() + static_cast<std::ptrdiff_t>(hashed));
+  return ck;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PayloadWriter / PayloadReader
+
+void PayloadWriter::raw(const void* p, std::size_t n) {
+  const unsigned char* b = static_cast<const unsigned char*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+void PayloadWriter::put_string(const std::string& s) {
+  put_u64(s.size());
+  raw(s.data(), s.size());
+}
+
+const unsigned char* PayloadReader::raw(std::size_t n) {
+  if (n > data_.size() - pos_)
+    throw Error(ErrorKind::io_corrupt,
+                "payload truncated: need " + std::to_string(n) +
+                    " bytes at offset " + std::to_string(pos_) + ", have " +
+                    std::to_string(data_.size() - pos_));
+  const unsigned char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint32_t PayloadReader::get_u32() {
+  std::uint32_t v;
+  std::memcpy(&v, raw(sizeof(v)), sizeof(v));
+  return v;
+}
+
+std::uint64_t PayloadReader::get_u64() {
+  std::uint64_t v;
+  std::memcpy(&v, raw(sizeof(v)), sizeof(v));
+  return v;
+}
+
+double PayloadReader::get_f64() {
+  double v;
+  std::memcpy(&v, raw(sizeof(v)), sizeof(v));
+  return v;
+}
+
+void PayloadReader::get_cplx(std::span<cplx> out) {
+  std::memcpy(out.data(), raw(out.size_bytes()), out.size_bytes());
+}
+
+std::string PayloadReader::get_string() {
+  const std::uint64_t n = get_u64();
+  if (n > data_.size() - pos_)
+    throw Error(ErrorKind::io_corrupt,
+                "payload truncated inside a string field");
+  const unsigned char* p = raw(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(n));
+}
+
+void PayloadReader::require_end() const {
+  if (pos_ != data_.size())
+    throw Error(ErrorKind::io_corrupt,
+                "payload has " + std::to_string(data_.size() - pos_) +
+                    " trailing bytes past its descriptor");
+}
+
+// ---------------------------------------------------------------------------
+// File-level read/write
+
+void write_checkpoint(const std::string& path, PayloadKind kind,
+                      std::span<const unsigned char> payload) {
+  // Assemble the full image in memory: header, payload, trailing digest.
+  std::vector<unsigned char> image(kCheckpointHeaderSize + payload.size() + 8);
+  std::memcpy(image.data(), kCheckpointMagic, sizeof(kCheckpointMagic));
+  const std::uint32_t version = kCheckpointVersion;
+  const std::uint32_t kind_raw = static_cast<std::uint32_t>(kind);
+  const std::uint64_t payload_size = payload.size();
+  std::memcpy(image.data() + 8, &version, 4);
+  std::memcpy(image.data() + 12, &kind_raw, 4);
+  std::memcpy(image.data() + 16, &payload_size, 8);
+  if (!payload.empty())
+    std::memcpy(image.data() + kCheckpointHeaderSize, payload.data(),
+                payload.size());
+  const std::size_t hashed = image.size() - 8;
+  const std::uint64_t digest = xxh64(image.data(), hashed);
+  std::memcpy(image.data() + hashed, &digest, 8);
+
+  // Durable write to the side file first; the primary is never opened for
+  // writing, so a crash at any point here leaves it untouched.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f)
+    throw Error(ErrorKind::io_corrupt, tmp + ": open: " + errno_text());
+  const bool wrote =
+      std::fwrite(image.data(), 1, image.size(), f) == image.size() &&
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    throw Error(ErrorKind::io_corrupt, tmp + ": write: " + errno_text());
+  }
+
+  // Rotate the previous checkpoint, then publish. Each rename is atomic;
+  // between them the last good image lives at .bak.
+  std::rename(path.c_str(), (path + ".bak").c_str());  // ok if absent
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error(ErrorKind::io_corrupt, path + ": rename: " + errno_text());
+  }
+  sync_parent_dir(path);
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::vector<unsigned char> bytes;
+  if (!slurp(path, bytes))
+    throw Error(ErrorKind::io_corrupt, path + ": cannot open: " +
+                                           errno_text());
+  return parse(path, std::move(bytes));
+}
+
+Checkpoint read_checkpoint(const std::string& path, PayloadKind expect) {
+  Checkpoint ck = read_checkpoint(path);
+  if (ck.kind != expect)
+    throw Error(ErrorKind::io_corrupt,
+                path + ": wrong payload kind " +
+                    std::to_string(static_cast<std::uint32_t>(ck.kind)) +
+                    " (expected " +
+                    std::to_string(static_cast<std::uint32_t>(expect)) + ")");
+  return ck;
+}
+
+Checkpoint read_checkpoint_with_fallback(const std::string& path,
+                                         PayloadKind expect) {
+  try {
+    return read_checkpoint(path, expect);
+  } catch (const Error& primary_error) {
+    try {
+      Checkpoint ck = read_checkpoint(path + ".bak", expect);
+      ck.from_backup = true;
+      return ck;
+    } catch (const Error&) {
+      throw primary_error;  // the primary's diagnosis is the useful one
+    }
+  }
+}
+
+bool checkpoint_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0 ||
+         ::access((path + ".bak").c_str(), F_OK) == 0;
+}
+
+void remove_checkpoint(const std::string& path) noexcept {
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Type serializers
+
+void encode_sector_basis(PayloadWriter& w, const SectorBasis& basis) {
+  const std::vector<SpeciesSector> sp = basis.species();
+  w.put_u64(basis.n_qubits());
+  w.put_u64(sp.size());
+  for (const SpeciesSector& s : sp) {
+    w.put_u64(s.mask);
+    w.put_u64(s.count);
+  }
+}
+
+SectorBasis decode_sector_basis(PayloadReader& r) {
+  const std::uint64_t n = r.get_u64();
+  const std::uint64_t n_species = r.get_u64();
+  if (n_species > 64)  // more species than qubits cannot be a valid sector
+    throw Error(ErrorKind::io_corrupt,
+                "sector descriptor claims " + std::to_string(n_species) +
+                    " species");
+  std::vector<SpeciesSector> sp(static_cast<std::size_t>(n_species));
+  for (SpeciesSector& s : sp) {
+    s.mask = r.get_u64();
+    s.count = static_cast<std::size_t>(r.get_u64());
+  }
+  return SectorBasis(static_cast<std::size_t>(n), std::move(sp));
+}
+
+void save_state_vector(const std::string& path, const StateVector& psi) {
+  PayloadWriter w;
+  w.put_u64(psi.n_qubits());
+  w.put_u64(psi.dim());
+  w.put_cplx(psi.amps());
+  write_checkpoint(path, PayloadKind::kStateVector, w.bytes());
+}
+
+StateVector load_state_vector(const std::string& path) {
+  const Checkpoint ck =
+      read_checkpoint_with_fallback(path, PayloadKind::kStateVector);
+  PayloadReader r(ck.payload);
+  const std::uint64_t n = r.get_u64();
+  const std::uint64_t dim = r.get_u64();
+  if (n < 1 || n > 63 || dim != (std::uint64_t{1} << n))
+    throw Error(ErrorKind::io_corrupt,
+                path + ": state descriptor n=" + std::to_string(n) +
+                    " dim=" + std::to_string(dim) + " is inconsistent");
+  StateVector psi(static_cast<std::size_t>(n));
+  r.get_cplx(psi.amps());
+  r.require_end();
+  return psi;
+}
+
+void save_sector_vector(const std::string& path, const SectorVector& psi) {
+  PayloadWriter w;
+  encode_sector_basis(w, psi.basis());
+  w.put_u64(psi.dim());
+  w.put_cplx(psi.amps());
+  write_checkpoint(path, PayloadKind::kSectorVector, w.bytes());
+}
+
+SectorVector load_sector_vector(const std::string& path) {
+  const Checkpoint ck =
+      read_checkpoint_with_fallback(path, PayloadKind::kSectorVector);
+  PayloadReader r(ck.payload);
+  SectorBasis basis = decode_sector_basis(r);
+  const std::uint64_t dim = r.get_u64();
+  if (dim != basis.dim())
+    throw Error(ErrorKind::io_corrupt,
+                path + ": amplitude count " + std::to_string(dim) +
+                    " disagrees with sector dimension " +
+                    std::to_string(basis.dim()));
+  SectorVector psi{std::move(basis)};
+  r.get_cplx(psi.amps());
+  r.require_end();
+  return psi;
+}
+
+void save_sector_basis(const std::string& path, const SectorBasis& basis) {
+  PayloadWriter w;
+  encode_sector_basis(w, basis);
+  write_checkpoint(path, PayloadKind::kSectorBasis, w.bytes());
+}
+
+SectorBasis load_sector_basis(const std::string& path) {
+  const Checkpoint ck =
+      read_checkpoint_with_fallback(path, PayloadKind::kSectorBasis);
+  PayloadReader r(ck.payload);
+  SectorBasis basis = decode_sector_basis(r);
+  r.require_end();
+  return basis;
+}
+
+}  // namespace gecos

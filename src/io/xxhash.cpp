@@ -1,0 +1,100 @@
+// XXH64 reference algorithm: 4 parallel 64-bit lanes over 32-byte stripes,
+// lane merge, tail absorption, avalanche finalizer.
+#include "io/xxhash.hpp"
+
+#include <cstring>
+
+namespace gecos {
+
+namespace {
+
+constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kP3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kP4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kP5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Unaligned little-endian loads (memcpy compiles to a single mov).
+inline std::uint64_t load64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t load32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kP2;
+  acc = rotl(acc, 31);
+  return acc * kP1;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= round_step(0, val);
+  return acc * kP1 + kP4;
+}
+
+}  // namespace
+
+std::uint64_t xxh64(const void* data, std::size_t len, std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kP1 + kP2;
+    std::uint64_t v2 = seed + kP2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kP1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = round_step(v1, load64(p));
+      v2 = round_step(v2, load64(p + 8));
+      v3 = round_step(v3, load64(p + 16));
+      v4 = round_step(v4, load64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kP5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= round_step(0, load64(p));
+    h = rotl(h, 27) * kP1 + kP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(load32(p)) * kP1;
+    h = rotl(h, 23) * kP2 + kP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kP5;
+    h = rotl(h, 11) * kP1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace gecos

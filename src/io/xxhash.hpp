@@ -1,0 +1,23 @@
+// XXH64: the 64-bit xxHash non-cryptographic checksum.
+//
+// Self-contained implementation of the public-domain XXH64 algorithm
+// (Yann Collet's specification, https://github.com/Cyan4973/xxHash) —
+// the checkpoint layer needs a fast whole-file integrity hash and the
+// container bakes in no hashing library. XXH64 consumes ~one cycle per
+// byte scalar, far below checkpoint I/O cost, and its avalanche finalizer
+// makes single-bit payload flips flip ~half the digest bits, which is the
+// property the corruption-matrix tests lean on. Verified against the
+// reference vectors (e.g. XXH64("", 0) = 0xEF46DB3751D8E999) in
+// tests/test_checkpoint.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gecos {
+
+/// XXH64 digest of `len` bytes at `data` with the given seed.
+/// Matches the reference implementation bit-for-bit on all inputs.
+std::uint64_t xxh64(const void* data, std::size_t len, std::uint64_t seed = 0);
+
+}  // namespace gecos

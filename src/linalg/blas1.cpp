@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/error.hpp"
 #include "util/parallel.hpp"
 
 namespace gecos {
@@ -21,6 +22,13 @@ double vec_norm(std::span<const cplx> v) {
   });
   double s = 0;
   for (double p : partial) s += p;
+  // Health sweep for free: the reduction already touched every amplitude,
+  // and any NaN/Inf among them poisons the sum. parallel_for bodies must
+  // not throw, so the check lives on the combined scalar.
+  if (!std::isfinite(s))
+    throw Error(ErrorKind::numerical_nan,
+                "vec_norm: non-finite amplitude in a vector of dim " +
+                    std::to_string(v.size()));
   return std::sqrt(s);
 }
 
@@ -34,6 +42,13 @@ cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b) {
   });
   cplx s = 0;
   for (const cplx& p : partial) s += p;
+  // Same free NaN/Inf sweep as vec_norm (a finite-but-huge dot of finite
+  // vectors cannot overflow to Inf without a non-finite input at these
+  // normalized magnitudes; cancellation cannot manufacture a NaN).
+  if (!std::isfinite(s.real()) || !std::isfinite(s.imag()))
+    throw Error(ErrorKind::numerical_nan,
+                "vec_dot: non-finite amplitude in a vector of dim " +
+                    std::to_string(a.size()));
   return s;
 }
 

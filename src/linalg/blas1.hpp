@@ -20,9 +20,12 @@ namespace gecos {
 /// The scalar type of the whole library (same alias as linalg/matrix.hpp).
 using cplx = std::complex<double>;
 
-/// Euclidean norm ||v||_2.
+/// Euclidean norm ||v||_2. Doubles as the numerical-health sweep of the
+/// solver stack: throws Error{numerical_nan} when any amplitude is
+/// NaN/Inf (detected for free off the reduction sum).
 double vec_norm(std::span<const cplx> v);
-/// Inner product <a|b>, conjugate-linear in a (sizes must match).
+/// Inner product <a|b>, conjugate-linear in a (sizes must match). Same
+/// free NaN/Inf detection as vec_norm: throws Error{numerical_nan}.
 cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b);
 /// Max |a_i - b_i| (sizes must match).
 double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b);

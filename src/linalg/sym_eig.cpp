@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <complex>
-#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace gecos {
 
@@ -54,11 +56,18 @@ void eigh_sym(std::span<const double> a, std::size_t m, SymEigWorkspace& ws) {
   const double tol = 1e-15 * std::max(frob, 1e-300);
 
   const int max_sweeps = 64;
-  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+  bool converged = false;
+  double off_residual = 0;
+  for (int sweep = 0; sweep <= max_sweeps; ++sweep) {
     double off = 0;
     for (std::size_t p = 0; p < m; ++p)
       for (std::size_t q = p + 1; q < m; ++q) off += 2 * w[p * m + q] * w[p * m + q];
-    if (std::sqrt(off) <= tol) break;
+    off_residual = std::sqrt(off);
+    if (off_residual <= tol) {
+      converged = true;
+      break;
+    }
+    if (sweep == max_sweeps) break;  // residual above was the final one
     for (std::size_t p = 0; p < m; ++p) {
       for (std::size_t q = p + 1; q < m; ++q) {
         const double apq = w[p * m + q];
@@ -88,6 +97,13 @@ void eigh_sym(std::span<const double> a, std::size_t m, SymEigWorkspace& ws) {
       }
     }
   }
+  if (!converged)
+    throw Error(ErrorKind::not_converged,
+                "eigh_sym: Jacobi off-diagonal residual " +
+                    std::to_string(off_residual) + " > tol " +
+                    std::to_string(tol) + " after " +
+                    std::to_string(max_sweeps) + " sweeps (m = " +
+                    std::to_string(m) + ")");
   for (std::size_t i = 0; i < m; ++i) ws.d[i] = w[i * m + i];
   sort_pairs(m, ws);
 }
@@ -122,7 +138,12 @@ void eigh_tridiag(std::span<const double> alpha, std::span<const double> beta,
       }
       if (split == l) break;
       if (iter >= 50)
-        throw std::runtime_error("eigh_tridiag: QL failed to converge");
+        throw Error(ErrorKind::not_converged,
+                    "eigh_tridiag: QL off-diagonal residual " +
+                        std::to_string(std::abs(e[l])) +
+                        " after 50 shifts at eigenvalue index " +
+                        std::to_string(l) + " (m = " + std::to_string(m) +
+                        ")");
       // Shift from the 2x2 trailing block at l.
       double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
       double r = std::hypot(g, 1.0);

@@ -39,13 +39,18 @@ struct SymEigWorkspace {
 /// m x m; only the stored values are read, symmetry is assumed). Cyclic
 /// Jacobi to machine precision. Results: ws.d (ascending) and ws.z (column
 /// j of the row-major m x m block is the eigenvector of ws.d[j]).
-/// Allocation-free when ws was reserved for >= m.
+/// Allocation-free when ws was reserved for >= m. Throws
+/// Error{not_converged} (with the off-diagonal residual in the message)
+/// when 64 sweeps fail to reach tolerance instead of returning silently
+/// unconverged results.
 void eigh_sym(std::span<const double> a, std::size_t m, SymEigWorkspace& ws);
 
 /// Eigen-decomposition of a symmetric tridiagonal matrix with diagonal
 /// `alpha` (size m) and off-diagonal `beta` (size m-1): implicit-shift QL
 /// with eigenvector accumulation. Same output convention and workspace
 /// behavior as eigh_sym; O(m^2) per eigenvalue instead of Jacobi sweeps.
+/// Throws Error{not_converged} (with the stuck off-diagonal residual) when
+/// 50 implicit shifts fail to deflate an eigenvalue.
 void eigh_tridiag(std::span<const double> alpha, std::span<const double> beta,
                   std::size_t m, SymEigWorkspace& ws);
 

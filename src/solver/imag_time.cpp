@@ -1,10 +1,14 @@
 #include "solver/imag_time.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 
+#include "io/checkpoint.hpp"
 #include "linalg/blas1.hpp"
 #include "state/state_vector.hpp"
+#include "util/error.hpp"
 
 namespace gecos {
 
@@ -25,7 +29,8 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
   const auto normalize = [&] {
     const double n = vec_norm(psi);
     if (n == 0.0)
-      throw std::invalid_argument("imag_time_ground_state: zero state");
+      throw Error(ErrorKind::breakdown,
+                  "imag_time_ground_state: state collapsed to zero norm");
     vec_scale(psi, cplx(1.0 / n));
   };
 
@@ -34,8 +39,52 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
   // E = Re<psi|H psi>, var = ||H psi||^2 - E^2.
   AlignedVec hpsi(h.dim());
   ImagTimeResult r;
+  const bool checkpointing =
+      opts.checkpoint_interval > 0 && !opts.checkpoint_path.empty();
+  std::size_t next_checkpoint = opts.checkpoint_interval;
+
+  if (opts.resume && checkpoint_exists(opts.checkpoint_path)) {
+    const Checkpoint ck = read_checkpoint_with_fallback(
+        opts.checkpoint_path, PayloadKind::kImagTimeState);
+    PayloadReader rd(ck.payload);
+    const std::uint64_t dim = rd.get_u64();
+    if (dim != h.dim())
+      throw Error(ErrorKind::dim_mismatch,
+                  opts.checkpoint_path + ": checkpoint dim " +
+                      std::to_string(dim) + " does not match operator dim " +
+                      std::to_string(h.dim()));
+    r.steps = static_cast<std::size_t>(rd.get_u64());
+    r.matvecs = static_cast<std::size_t>(rd.get_u64());
+    r.beta = rd.get_f64();
+    rd.get_f64();  // dt at save time (informational only; beta is the truth)
+    r.energy = rd.get_f64();
+    r.variance = rd.get_f64();
+    rd.get_cplx(psi);
+    rd.require_end();
+    r.resumed = true;
+    r.resumed_steps = r.steps;
+    next_checkpoint = r.steps + opts.checkpoint_interval;
+  }
+
+  // Also the resume-boundary health sweep: vec_norm inside throws
+  // Error{numerical_nan} on any non-finite restored amplitude.
   normalize();
   for (;;) {
+    if (checkpointing && r.steps >= next_checkpoint) {
+      PayloadWriter w;
+      w.put_u64(h.dim());
+      w.put_u64(r.steps);
+      w.put_u64(r.matvecs);
+      w.put_f64(r.beta);
+      w.put_f64(opts.dt);
+      w.put_f64(r.energy);
+      w.put_f64(r.variance);
+      w.put_cplx(psi);
+      write_checkpoint(opts.checkpoint_path, PayloadKind::kImagTimeState,
+                       w.bytes());
+      ++r.checkpoints_written;
+      next_checkpoint = r.steps + opts.checkpoint_interval;
+    }
     h.apply(psi, hpsi);
     ++r.matvecs;
     r.energy = vec_dot(psi, hpsi).real();
@@ -51,6 +100,7 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
     r.matvecs += expm.last_matvecs();
     normalize();
     ++r.steps;
+    r.beta += opts.dt;
   }
 }
 

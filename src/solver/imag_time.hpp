@@ -12,10 +12,18 @@
 // This is the designated cross-check for the Lanczos eigensolver: same
 // matvec kernels, completely different projection principle. See DESIGN.md
 // "Krylov solver layer".
+// Long projections are resumable: with ImagTimeOptions::checkpoint_path
+// and checkpoint_interval set, the current state and its accumulated
+// imaginary time beta are written through src/io/checkpoint.hpp every
+// `interval` steps, and opts.resume picks the run back up from the last
+// good file (`.bak` fallback included) — the continuation filters from
+// exactly the saved state, so the projected physics is that of the
+// uninterrupted run. See DESIGN.md "Checkpoint format & failure model".
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "ops/linear_op.hpp"
 #include "solver/krylov_evolve.hpp"
@@ -30,15 +38,27 @@ struct ImagTimeOptions {
   double variance_tol = 1e-10;      ///< stop when <H^2> - <H>^2 <= this
   std::size_t max_subspace = 24;    ///< Krylov cap for each exp(-dt H)
   double krylov_tol = 1e-12;        ///< per-step Krylov error budget
+  /// Checkpoint file path; empty (the default) disables checkpointing.
+  std::string checkpoint_path;
+  /// Projection steps between checkpoint writes; 0 disables them.
+  std::size_t checkpoint_interval = 0;
+  /// When set, an existing checkpoint at checkpoint_path is loaded and the
+  /// projection continues from it (fresh start when no file exists, so
+  /// drivers need only one code path).
+  bool resume = false;
 };
 
 /// Outcome of an imaginary-time projection.
 struct ImagTimeResult {
   double energy = 0.0;        ///< final <H>
   double variance = 0.0;      ///< final <H^2> - <H>^2
-  std::size_t steps = 0;      ///< projection steps taken
+  std::size_t steps = 0;      ///< projection steps taken (incl. resumed)
   std::size_t matvecs = 0;    ///< operator applications (steps + measurement)
   bool converged = false;     ///< variance_tol reached within max_steps
+  double beta = 0.0;          ///< total imaginary time, including resumed
+  bool resumed = false;       ///< true when a checkpoint was loaded
+  std::size_t resumed_steps = 0;        ///< steps inherited from the file
+  std::size_t checkpoints_written = 0;  ///< checkpoint files produced
 };
 
 /// Projects psi onto the ground state of h (Hermitian; kLanczos Krylov mode
@@ -48,7 +68,10 @@ struct ImagTimeResult {
 /// projected state on exit, normalized. psi.size() must equal h.dim() —
 /// which need not be 2^n: sector vectors over a SectorOperator
 /// (src/symmetry/) project with the same call. Throws std::invalid_argument
-/// on a dimension mismatch or non-positive dt.
+/// on a dimension mismatch or non-positive dt; a state that collapses to
+/// zero norm mid-run throws Error{breakdown}, and checkpoint problems
+/// surface as Error{io_corrupt} / Error{version_mismatch} /
+/// Error{dim_mismatch}.
 ImagTimeResult imag_time_ground_state(const LinearOperator& h,
                                       std::span<cplx> psi,
                                       const ImagTimeOptions& opts = {});

@@ -8,6 +8,7 @@
 
 #include "linalg/expm.hpp"
 #include "linalg/matrix.hpp"
+#include "util/error.hpp"
 
 namespace gecos {
 
@@ -166,9 +167,9 @@ void KrylovEvolver::apply_expm(cplx z, std::span<cplx> x) const {
       for (;;) {
         h /= 2;
         if (h < 1e-8)
-          throw std::runtime_error(
-              "KrylovEvolver: step splitting failed to converge (operator "
-              "norm too large for the subspace cap?)");
+          throw Error(ErrorKind::not_converged,
+                      "KrylovEvolver: step splitting failed to converge "
+                      "(operator norm too large for the subspace cap?)");
         const double err = last_beta_ * solve_projection(z * h, m);
         if (err <= std::max(opts_.tol * h, estimate_floor(last_beta_))) break;
       }

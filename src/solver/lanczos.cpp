@@ -4,7 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "io/checkpoint.hpp"
+#include "util/error.hpp"
 
 namespace gecos {
 
@@ -15,6 +20,10 @@ namespace {
 const double kOmegaLimit = std::sqrt(std::numeric_limits<double>::epsilon());
 /// Baseline orthogonality level right after an explicit orthogonalization.
 const double kEps = std::numeric_limits<double>::epsilon();
+/// Health-monitor bound on norm drift / orthogonality loss at restart and
+/// resume boundaries: explicit (re)orthogonalization keeps both near 1e-13,
+/// so crossing 1e-6 means the basis invariants are gone, not merely noisy.
+const double kHealthLimit = 1e-6;
 
 }  // namespace
 
@@ -137,6 +146,27 @@ void Lanczos::thick_restart(std::size_t jj, std::size_t l, double b) const {
   for (std::size_t i = 0; i < l; ++i) vec_copy(basis_.vec(i), aux_.vec(i));
   vec_copy(basis_.vec(l), basis_.vec(jj));
 
+  // Restart-boundary health monitors: every kept Ritz vector must still be
+  // unit-norm and orthogonal to the carried residual vector. Both are
+  // ~1e-13 for an orthogonalizing policy, so a 1e-6 excursion is a real
+  // loss of invariants (reported as breakdown), not noise. The reductions
+  // also sweep every amplitude for NaN/Inf via the blas1 guards. kNone is
+  // the documented ghost factory and is exempt from enforcement.
+  double drift = 0.0, ortho = 0.0;
+  for (std::size_t i = 0; i < l; ++i) {
+    drift = std::max(drift, std::abs(vec_norm(basis_.vec(i)) - 1.0));
+    ortho = std::max(ortho, std::abs(vec_dot(basis_.vec(i), basis_.vec(l))));
+  }
+  result_.max_norm_drift = std::max(result_.max_norm_drift, drift);
+  result_.max_ortho_loss = std::max(result_.max_ortho_loss, ortho);
+  if (opts_.reorth != LanczosReorth::kNone &&
+      (drift > kHealthLimit || ortho > kHealthLimit))
+    throw Error(ErrorKind::breakdown,
+                "Lanczos: basis invariants lost at restart " +
+                    std::to_string(result_.restarts + 1) + " (norm drift " +
+                    std::to_string(drift) + ", orthogonality loss " +
+                    std::to_string(ortho) + ")");
+
   // New projected matrix: diag(theta_i) bordered by the residual couplings
   // b_i = beta * z_{last,i} in row/column l.
   std::fill(tmat_.begin(), tmat_.end(), 0.0);
@@ -153,10 +183,11 @@ void Lanczos::thick_restart(std::size_t jj, std::size_t l, double b) const {
 
 const LanczosResult& Lanczos::solve() {
   // Seeded Gaussian start vector written straight into slot 0 (no
-  // temporary), normalized by the common path below.
+  // temporary), normalized by the common path below. The distribution is
+  // reset so each solve() draws the same sequence a fresh local would.
+  dist_.reset();
   std::span<cplx> v0 = basis_.vec(0);
-  std::normal_distribution<double> g;
-  for (cplx& x : v0) x = cplx(g(rng_), g(rng_));
+  for (cplx& x : v0) x = cplx(dist_(rng_), dist_(rng_));
   return run();
 }
 
@@ -165,6 +196,106 @@ const LanczosResult& Lanczos::solve(std::span<const cplx> v0) {
     throw std::invalid_argument("Lanczos::solve: start vector size mismatch");
   vec_copy(basis_.vec(0), v0);
   return run();
+}
+
+void Lanczos::save_checkpoint(std::size_t j) const {
+  PayloadWriter w;
+  // Geometry first, so resume() can reject a mismatched solver before
+  // touching any state.
+  w.put_u64(dim_);
+  w.put_u64(m_);
+  w.put_u64(opts_.k);
+  w.put_u32(static_cast<std::uint32_t>(opts_.reorth));
+  w.put_u64(keep_);
+  w.put_u64(locked_);
+  w.put_u64(j);
+  w.put_u64(result_.iterations);
+  w.put_u64(result_.matvecs);
+  w.put_u64(result_.restarts);
+  for (std::size_t i = 0; i < m_ * m_; ++i) w.put_f64(tmat_[i]);
+  for (std::size_t i = 0; i <= m_; ++i) w.put_f64(omega_[i]);
+  for (std::size_t i = 0; i <= m_; ++i) w.put_f64(omega_prev_[i]);
+  // Engine and distribution serialize exactly through their iostream
+  // operators (integer words; max_digits10 floats for the cached spare).
+  std::ostringstream rs;
+  rs << rng_ << ' ' << dist_;
+  w.put_string(rs.str());
+  for (std::size_t s = 0; s <= j; ++s) w.put_cplx(basis_.vec(s));
+  write_checkpoint(opts_.checkpoint_path, PayloadKind::kLanczosState,
+                   w.bytes());
+}
+
+const LanczosResult& Lanczos::resume(const std::string& path) {
+  const Checkpoint ck =
+      read_checkpoint_with_fallback(path, PayloadKind::kLanczosState);
+  PayloadReader r(ck.payload);
+  const std::uint64_t dim = r.get_u64();
+  const std::uint64_t m = r.get_u64();
+  const std::uint64_t k = r.get_u64();
+  const std::uint32_t reorth = r.get_u32();
+  if (dim != dim_ || m != m_ || k != opts_.k ||
+      reorth != static_cast<std::uint32_t>(opts_.reorth))
+    throw Error(ErrorKind::dim_mismatch,
+                path + ": checkpoint geometry (dim " + std::to_string(dim) +
+                    ", m " + std::to_string(m) + ", k " + std::to_string(k) +
+                    ", reorth " + std::to_string(reorth) +
+                    ") does not match this solver (dim " +
+                    std::to_string(dim_) + ", m " + std::to_string(m_) +
+                    ", k " + std::to_string(opts_.k) + ", reorth " +
+                    std::to_string(static_cast<std::uint32_t>(opts_.reorth)) +
+                    ")");
+  const std::uint64_t keep = r.get_u64();
+  const std::uint64_t locked = r.get_u64();
+  const std::uint64_t j = r.get_u64();
+  if (keep != keep_ || j >= m || locked > j)
+    throw Error(ErrorKind::io_corrupt,
+                path + ": solver state out of bounds (keep " +
+                    std::to_string(keep) + ", locked " +
+                    std::to_string(locked) + ", j " + std::to_string(j) +
+                    ")");
+  result_.iterations = static_cast<std::size_t>(r.get_u64());
+  result_.matvecs = static_cast<std::size_t>(r.get_u64());
+  result_.restarts = static_cast<std::size_t>(r.get_u64());
+  for (std::size_t i = 0; i < m_ * m_; ++i) tmat_[i] = r.get_f64();
+  for (std::size_t i = 0; i <= m_; ++i) omega_[i] = r.get_f64();
+  for (std::size_t i = 0; i <= m_; ++i) omega_prev_[i] = r.get_f64();
+  std::istringstream rs(r.get_string());
+  rs >> rng_ >> dist_;
+  if (!rs)
+    throw Error(ErrorKind::io_corrupt, path + ": RNG state unreadable");
+  for (std::size_t s = 0; s <= j; ++s) r.get_cplx(basis_.vec(s));
+  r.require_end();
+
+  locked_ = static_cast<std::size_t>(locked);
+  result_.converged = false;
+  result_.checkpoints_written = 0;
+  result_.resumed_matvecs = result_.matvecs;
+  result_.resumed = true;
+  result_.max_norm_drift = 0.0;
+  result_.max_ortho_loss = 0.0;
+  std::fill(result_.eigenvalues.begin(), result_.eigenvalues.end(), 0.0);
+  std::fill(result_.residuals.begin(), result_.residuals.end(), 0.0);
+  next_checkpoint_ = result_.matvecs + opts_.checkpoint_interval;
+
+  // Resume-boundary health monitors: the restored prefix must be an
+  // orthonormal basis (the reductions also NaN-sweep every amplitude via
+  // the blas1 guards). A checksum-valid checkpoint of a healthy run passes
+  // at ~1e-13; failure means the file is from a corrupted run.
+  double drift = 0.0, ortho = 0.0;
+  for (std::size_t s = 0; s <= j; ++s)
+    drift = std::max(drift, std::abs(vec_norm(basis_.vec(s)) - 1.0));
+  for (std::size_t s = 0; s < j; ++s)
+    ortho = std::max(ortho, std::abs(vec_dot(basis_.vec(s), basis_.vec(j))));
+  result_.max_norm_drift = drift;
+  result_.max_ortho_loss = ortho;
+  if (opts_.reorth != LanczosReorth::kNone &&
+      (drift > kHealthLimit || ortho > kHealthLimit))
+    throw Error(ErrorKind::breakdown,
+                path + ": restored basis is not orthonormal (norm drift " +
+                    std::to_string(drift) + ", orthogonality loss " +
+                    std::to_string(ortho) + ")");
+
+  return loop(static_cast<std::size_t>(j));
 }
 
 const LanczosResult& Lanczos::run() {
@@ -177,20 +308,40 @@ const LanczosResult& Lanczos::run() {
   result_.matvecs = 0;
   result_.restarts = 0;
   result_.converged = false;
+  result_.checkpoints_written = 0;
+  result_.resumed_matvecs = 0;
+  result_.resumed = false;
+  result_.max_norm_drift = 0.0;
+  result_.max_ortho_loss = 0.0;
   locked_ = 0;
+  dist_.reset();
   std::fill(tmat_.begin(), tmat_.end(), 0.0);
   for (std::size_t i = 0; i <= m_; ++i) omega_[i] = omega_prev_[i] = kEps;
 
   std::fill(result_.eigenvalues.begin(), result_.eigenvalues.end(), 0.0);
   std::fill(result_.residuals.begin(), result_.residuals.end(), 0.0);
+  next_checkpoint_ = opts_.checkpoint_interval;
 
+  return loop(0);
+}
+
+const LanczosResult& Lanczos::loop(std::size_t j0) {
   const std::size_t k = opts_.k;
-  std::size_t j = 0;       // index of the newest basis vector
+  const bool checkpointing =
+      opts_.checkpoint_interval > 0 && !opts_.checkpoint_path.empty();
+  std::size_t j = j0;      // index of the newest basis vector
   std::size_t jj = 0;      // current basis size after the extension below
   double b_exit = 0.0;     // residual coupling at loop exit
-  std::normal_distribution<double> g;
 
   for (;;) {
+    // The loop-top state (basis prefix 0..j, projected matrix, omega
+    // recurrence, RNG, counters) is self-contained: a checkpoint taken
+    // here resumes into the bit-identical trajectory.
+    if (checkpointing && result_.matvecs >= next_checkpoint_) {
+      save_checkpoint(j);
+      ++result_.checkpoints_written;
+      next_checkpoint_ = result_.matvecs + opts_.checkpoint_interval;
+    }
     double b = extend(j);
     ++result_.iterations;
     jj = j + 1;
@@ -221,7 +372,7 @@ const LanczosResult& Lanczos::run() {
       // Continue from a fresh random direction orthogonal to everything;
       // zero coupling keeps the exact block untouched.
       std::span<cplx> w = basis_.vec(jj);
-      for (cplx& x : w) x = cplx(g(rng_), g(rng_));
+      for (cplx& x : w) x = cplx(dist_(rng_), dist_(rng_));
       basis_.project_out(w, jj, 2);
       const double nw = vec_norm(w);
       if (nw == 0.0) {  // dim exhausted: nothing further to add

@@ -13,11 +13,23 @@
 // "Krylov solver layer". After construction (which preallocates the basis,
 // the projected matrix and the small-eigensolver workspace), solve() runs
 // allocation-free — probe-verified in tests/test_lanczos.cpp.
+//
+// Long solves are resumable: with LanczosOptions::checkpoint_path and
+// checkpoint_interval set, the solver writes its complete mid-flight state
+// (live basis prefix, projected matrix, omega recurrence, RNG and counters)
+// through src/io/checkpoint.hpp every `interval` matvecs, at the top of the
+// iteration loop where that state is self-contained. resume() reloads a
+// checkpoint (`.bak` fallback included) and continues the identical
+// trajectory: for a fixed thread count the resumed run is bit-for-bit the
+// uninterrupted one. Checkpoint writes allocate (serialization buffers);
+// the zero-allocation guarantee holds whenever checkpointing is off, which
+// is the default. See DESIGN.md "Checkpoint format & failure model".
 #pragma once
 
 #include <cstdint>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "linalg/sym_eig.hpp"
@@ -42,6 +54,11 @@ struct LanczosOptions {
   LanczosReorth reorth = LanczosReorth::kFull;  ///< see DESIGN.md
   bool compute_vectors = true;     ///< recover Ritz vectors after convergence
   std::uint64_t seed = 20260730;   ///< start-vector seed when none is given
+  /// Checkpoint file path; empty (the default) disables checkpointing and
+  /// preserves the zero-allocation solve guarantee.
+  std::string checkpoint_path;
+  /// Matvecs between checkpoint writes; 0 (the default) disables them.
+  std::size_t checkpoint_interval = 0;
 };
 
 /// Outcome of a Lanczos solve. Buffers are preallocated at construction and
@@ -53,6 +70,16 @@ struct LanczosResult {
   std::size_t matvecs = 0;          ///< operator applications
   std::size_t restarts = 0;         ///< thick restarts performed
   bool converged = false;           ///< all k residuals <= tol
+  std::size_t checkpoints_written = 0;  ///< checkpoint files produced
+  /// Matvecs inherited from the checkpoint by resume() — work a fresh run
+  /// would have had to redo. 0 on a non-resumed solve.
+  std::size_t resumed_matvecs = 0;
+  bool resumed = false;  ///< true when this result came out of resume()
+  /// Numerical-health monitors sampled at every restart boundary (and at
+  /// the resume boundary): worst | ||v_i|| - 1 | over the kept Ritz
+  /// vectors, and worst |<v_i, v_res>| against the new residual vector.
+  double max_norm_drift = 0.0;
+  double max_ortho_loss = 0.0;  ///< see max_norm_drift
 };
 
 /// Thick-restart Lanczos eigensolver for the k lowest eigenpairs.
@@ -71,6 +98,15 @@ class Lanczos {
   /// operator dimension). A zero start vector throws.
   const LanczosResult& solve(std::span<const cplx> v0);
 
+  /// Continues a solve from the checkpoint at `path` (falling back to
+  /// `path + ".bak"` when the primary is missing or corrupt). The
+  /// checkpoint must have been written by a solver over the same operator
+  /// geometry — dim, max_subspace, k and reorth policy are validated and a
+  /// mismatch throws Error{dim_mismatch}; damaged files throw
+  /// Error{io_corrupt} / Error{version_mismatch}. The continuation is
+  /// bit-identical to the uninterrupted run for a fixed thread count.
+  const LanczosResult& resume(const std::string& path);
+
   /// Result of the last solve (zeroed before the first).
   const LanczosResult& result() const { return result_; }
 
@@ -83,6 +119,13 @@ class Lanczos {
   /// The iteration shared by both solve() overloads (slot 0 holds the
   /// unnormalized start vector on entry).
   const LanczosResult& run();
+  /// The main loop plus final Ritz extraction, entered with the newest
+  /// basis vector at slot j0 (0 for a fresh run, the checkpointed index
+  /// for a resume).
+  const LanczosResult& loop(std::size_t j0);
+  /// Serializes the loop-top state (basis prefix 0..j, projected matrix,
+  /// omega recurrence, RNG, counters) to opts_.checkpoint_path.
+  void save_checkpoint(std::size_t j) const;
   /// One Lanczos extension from slot j: leaves the unnormalized residual in
   /// slot j+1 and returns its norm beta_j.
   double extend(std::size_t j) const;
@@ -109,6 +152,10 @@ class Lanczos {
   mutable std::vector<cplx> coeffs_;  // recombination scratch
   mutable SymEigWorkspace ws_;
   mutable std::mt19937_64 rng_;
+  // Member (not loop-local) so its cached spare Gaussian serializes with
+  // the checkpoint and the resumed draw sequence stays exact.
+  mutable std::normal_distribution<double> dist_;
+  mutable std::size_t next_checkpoint_ = 0;  // matvec count of next write
   mutable LanczosResult result_;
 };
 

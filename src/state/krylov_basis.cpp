@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace gecos {
 
@@ -10,7 +14,20 @@ KrylovBasis::KrylovBasis(std::size_t dim, std::size_t capacity)
     : dim_(dim), capacity_(capacity) {
   if (dim == 0 || capacity == 0)
     throw std::invalid_argument("KrylovBasis: dim and capacity must be >= 1");
-  store_.assign(dim * capacity, cplx(0.0));
+  if (dim > std::numeric_limits<std::size_t>::max() / sizeof(cplx) / capacity)
+    throw Error(ErrorKind::dim_mismatch,
+                "KrylovBasis: " + std::to_string(dim) + " x " +
+                    std::to_string(capacity) +
+                    " amplitudes overflow addressable memory");
+  try {
+    store_.assign(dim * capacity, cplx(0.0));
+  } catch (const std::bad_alloc&) {
+    throw Error(ErrorKind::dim_mismatch,
+                "KrylovBasis: allocation of " +
+                    std::to_string(dim * capacity * sizeof(cplx)) +
+                    " bytes failed (dim " + std::to_string(dim) +
+                    ", capacity " + std::to_string(capacity) + ")");
+  }
 }
 
 void KrylovBasis::reset(std::size_t dim) {

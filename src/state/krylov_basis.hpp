@@ -25,7 +25,8 @@ namespace gecos {
 class KrylovBasis {
  public:
   /// Allocates capacity * dim amplitudes up front (the only allocation this
-  /// class ever performs). Throws std::invalid_argument on a zero size.
+  /// class ever performs). Throws std::invalid_argument on a zero size and
+  /// Error{dim_mismatch} when the product overflows or cannot be allocated.
   KrylovBasis(std::size_t dim, std::size_t capacity);
 
   /// Amplitude count per vector and number of preallocated slots.

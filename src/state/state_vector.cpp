@@ -1,15 +1,35 @@
 #include "state/state_vector.hpp"
 #include "linalg/blas1.hpp"
+#include "util/error.hpp"
 
 #include <random>
 #include <stdexcept>
+#include <string>
 
 namespace gecos {
 
 StateVector::StateVector(std::size_t n_qubits) : n_(n_qubits) {
-  if (n_qubits < 1 || n_qubits > 30)
-    throw std::invalid_argument("StateVector: need 1 <= n_qubits <= 30");
-  data_.assign(std::size_t{1} << n_qubits, cplx(0.0));
+  // n_qubits = 0 is API misuse (invalid_argument, as ever); a too-large
+  // count is a resource condition and gets the structured taxonomy — the
+  // requested dimension in the message, never shift-overflow UB or a raw
+  // bad_alloc escaping to the caller.
+  if (n_qubits < 1)
+    throw std::invalid_argument("StateVector: need n_qubits >= 1");
+  if (n_qubits > 30)
+    throw Error(ErrorKind::dim_mismatch,
+                "StateVector: n_qubits = " + std::to_string(n_qubits) +
+                    " exceeds the 30-qubit limit (16 * 2^n bytes must stay "
+                    "addressable)");
+  try {
+    data_.assign(std::size_t{1} << n_qubits, cplx(0.0));
+  } catch (const std::bad_alloc&) {
+    throw Error(ErrorKind::dim_mismatch,
+                "StateVector: allocation of " +
+                    std::to_string((std::size_t{1} << n_qubits) *
+                                   sizeof(cplx)) +
+                    " bytes failed for n_qubits = " +
+                    std::to_string(n_qubits));
+  }
   data_[0] = cplx(1.0);
 }
 

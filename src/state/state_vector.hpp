@@ -55,7 +55,9 @@ using AlignedVec = std::vector<cplx, AlignedAllocator<cplx>>;
 /// Owning 2^n-amplitude quantum state with aligned storage.
 class StateVector {
  public:
-  /// |0...0> on n qubits (n >= 1, n <= 30 to keep 16 * 2^n addressable).
+  /// |0...0> on n qubits. n = 0 throws std::invalid_argument (API misuse);
+  /// n > 30 or a failed 16 * 2^n-byte allocation throws
+  /// Error{dim_mismatch} carrying the requested size (resource condition).
   explicit StateVector(std::size_t n_qubits);
 
   /// Computational basis state |index> on n qubits.

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "util/bits.hpp"
+#include "util/error.hpp"
 
 namespace gecos {
 
@@ -87,8 +89,15 @@ SectorBasis::SectorBasis(std::size_t n_qubits,
     sp.stride = dim_;
     sp.bottom = (s.count == 0) ? 0 : (~std::uint64_t{0} >> (64 - s.count));
     sp.top = sp.bottom << (sp.bits - s.count);
+    // Resource condition, not API misuse: a structurally valid sector whose
+    // dimension product overflows size_t gets the structured taxonomy with
+    // the offending numbers instead of undefined wraparound.
     if (dim_ > std::numeric_limits<std::size_t>::max() / sp.dim)
-      throw std::invalid_argument("SectorBasis: sector dimension overflow");
+      throw Error(ErrorKind::dim_mismatch,
+                  "SectorBasis: sector dimension overflow at species " +
+                      std::to_string(species_.size()) + " (partial dim " +
+                      std::to_string(dim_) + " x species dim " +
+                      std::to_string(sp.dim) + " exceeds size_t)");
     dim_ *= sp.dim;
     species_.push_back(sp);
   }

@@ -40,7 +40,8 @@ class SectorBasis {
   /// Sector over n_qubits (1..63) from explicit species. The species masks
   /// must be nonzero, pairwise disjoint, and cover all n qubits; each count
   /// must not exceed its mask's popcount. Throws std::invalid_argument on
-  /// any violation (or when the sector dimension would overflow size_t).
+  /// any violation; a structurally valid sector whose dimension would
+  /// overflow size_t throws Error{dim_mismatch} with the offending sizes.
   SectorBasis(std::size_t n_qubits, std::vector<SpeciesSector> species);
 
   /// Single-species sector: `count` particles anywhere on n_qubits.

@@ -2,14 +2,24 @@
 
 #include <random>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "linalg/blas1.hpp"
+#include "util/error.hpp"
 
 namespace gecos {
 
 SectorVector::SectorVector(SectorBasis basis) : basis_(std::move(basis)) {
-  data_.assign(basis_.dim(), cplx(0.0));
+  try {
+    data_.assign(basis_.dim(), cplx(0.0));
+  } catch (const std::bad_alloc&) {
+    throw Error(ErrorKind::dim_mismatch,
+                "SectorVector: allocation of " +
+                    std::to_string(basis_.dim() * sizeof(cplx)) +
+                    " bytes failed for sector dim " +
+                    std::to_string(basis_.dim()));
+  }
   data_[0] = cplx(1.0);
 }
 

@@ -23,7 +23,9 @@ namespace gecos {
 /// Owning sector-dimension amplitude vector over a SectorBasis.
 class SectorVector {
  public:
-  /// The rank-0 configuration state |first_config()> of the sector.
+  /// The rank-0 configuration state |first_config()> of the sector. A
+  /// failed amplitude allocation throws Error{dim_mismatch} with the
+  /// requested byte count instead of a raw std::bad_alloc.
   explicit SectorVector(SectorBasis basis);
 
   /// Basis (occupation) state |config>; throws std::invalid_argument when

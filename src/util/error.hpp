@@ -1,0 +1,62 @@
+// Structured error taxonomy for runtime failures.
+//
+// Until this header existed every runtime failure surfaced as a bare
+// std::runtime_error string, a std::invalid_argument, or — worse — silent
+// garbage (a NaN born in one matvec propagates into every downstream Ritz
+// value; an unconverged Jacobi sweep returns whatever the last rotation
+// left). gecos::Error carries a machine-checkable ErrorKind next to the
+// human-readable message, so callers (the checkpoint/resume layer, the
+// fault-injection harness, long-running drivers) can branch on WHAT failed:
+// fall back to the previous checkpoint on io_corrupt, refuse a newer file
+// format on version_mismatch, restart from a fresh state on numerical_nan.
+// Convention: std::invalid_argument stays the exception for caller API
+// misuse (bad sizes passed in, k = 0); gecos::Error is for conditions that
+// arise at runtime from data, files, or floating-point state. See DESIGN.md
+// "Checkpoint format & failure model".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gecos {
+
+/// What failed — the machine-checkable half of a gecos::Error.
+enum class ErrorKind {
+  io_corrupt,       ///< checkpoint bytes fail validation (magic/size/checksum)
+  version_mismatch, ///< checkpoint written by an unknown format version
+  dim_mismatch,     ///< dimensions disagree, overflow, or exceed memory
+  numerical_nan,    ///< a NaN/Inf surfaced in an amplitude reduction
+  breakdown,        ///< an iterative method lost its invariants mid-flight
+  not_converged,    ///< an iteration limit exhausted without convergence
+};
+
+/// Short stable name of an ErrorKind (for logs and test assertions).
+inline const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::io_corrupt: return "io_corrupt";
+    case ErrorKind::version_mismatch: return "version_mismatch";
+    case ErrorKind::dim_mismatch: return "dim_mismatch";
+    case ErrorKind::numerical_nan: return "numerical_nan";
+    case ErrorKind::breakdown: return "breakdown";
+    case ErrorKind::not_converged: return "not_converged";
+  }
+  return "unknown";
+}
+
+/// Runtime failure with a structured kind. what() is
+/// "<kind>: <message>" so plain logs stay self-describing.
+class Error : public std::runtime_error {
+ public:
+  /// Builds the error from its kind and a human-readable message.
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+        kind_(kind) {}
+
+  /// The machine-checkable failure category.
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+}  // namespace gecos

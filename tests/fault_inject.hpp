@@ -1,0 +1,95 @@
+// Fault-injection helpers for the checkpoint corruption matrix: byte-level
+// file surgery (truncate, bit-flip, magic smash, version skew) used by
+// test_checkpoint.cpp and test_resume.cpp to prove every damage mode is
+// detected and recovery proceeds from the last good file. Header-only,
+// test-tree only — deliberately not part of src/.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/xxhash.hpp"
+
+namespace gecos::test {
+
+/// Reads a whole file; throws on failure (tests want loud plumbing).
+inline std::vector<unsigned char> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("read_file: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+  const std::size_t got =
+      bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size())
+    throw std::runtime_error("read_file: short read on " + path);
+  return bytes;
+}
+
+/// Overwrites a file with the given bytes (plain write; the crash-safety
+/// under test lives in the production writer, not here).
+inline void write_file(const std::string& path,
+                       const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("write_file: cannot open " + path);
+  const std::size_t put =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (put != bytes.size())
+    throw std::runtime_error("write_file: short write on " + path);
+}
+
+/// Truncates the file to its first `keep` bytes (simulated torn write).
+inline void truncate_file(const std::string& path, std::size_t keep) {
+  std::vector<unsigned char> bytes = read_file(path);
+  if (keep < bytes.size()) bytes.resize(keep);
+  write_file(path, bytes);
+}
+
+/// Flips one bit: bit `bit` (0-7) of byte `offset` (simulated media error).
+inline void flip_bit(const std::string& path, std::size_t offset,
+                     unsigned bit) {
+  std::vector<unsigned char> bytes = read_file(path);
+  if (offset >= bytes.size())
+    throw std::runtime_error("flip_bit: offset past end of " + path);
+  bytes[offset] ^= static_cast<unsigned char>(1u << bit);
+  write_file(path, bytes);
+}
+
+/// Overwrites the 8-byte magic with an alien signature.
+inline void corrupt_magic(const std::string& path) {
+  std::vector<unsigned char> bytes = read_file(path);
+  if (bytes.size() < 8)
+    throw std::runtime_error("corrupt_magic: file too short: " + path);
+  std::memcpy(bytes.data(), "NOTGECOS", 8);
+  write_file(path, bytes);
+}
+
+/// Version-skews the file: patches the header's format-version field to
+/// `version` and RECOMPUTES the trailing digest, producing a checksum-valid
+/// file from a future (or past) format generation. Without the re-hash the
+/// reader would report io_corrupt — correct, but not the condition under
+/// test; this helper isolates the version_mismatch path.
+inline void rewrite_version(const std::string& path, std::uint32_t version) {
+  std::vector<unsigned char> bytes = read_file(path);
+  if (bytes.size() < 32)
+    throw std::runtime_error("rewrite_version: file too short: " + path);
+  std::memcpy(bytes.data() + 8, &version, 4);
+  const std::size_t hashed = bytes.size() - 8;
+  const std::uint64_t digest = gecos::xxh64(bytes.data(), hashed);
+  std::memcpy(bytes.data() + hashed, &digest, 8);
+  write_file(path, bytes);
+}
+
+/// Deletes a file if present (cleanup between scenarios).
+inline void remove_file(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace gecos::test

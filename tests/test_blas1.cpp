@@ -2,11 +2,13 @@
 // against a straightforward serial reference, at sizes below and above the
 // parallel_for grain so both the inline and the pooled path are exercised.
 #include <cmath>
+#include <limits>
 #include <random>
 #include <vector>
 
 #include "linalg/blas1.hpp"
 #include "test_util.hpp"
+#include "util/error.hpp"
 
 using namespace gecos;
 
@@ -94,6 +96,34 @@ int main() {
     const double n1 = vec_norm(a);
     const double n2 = vec_norm(a);
     CHECK(n1 == n2);
+  }
+
+  // Numerical-health guards: a NaN or Inf anywhere in a reduction input
+  // surfaces as Error{numerical_nan} instead of poisoning downstream math.
+  // Both the serial-inline and the pooled path, and both contaminants.
+  {
+    const auto throws_nan = [](const auto& fn) {
+      try {
+        fn();
+      } catch (const Error& e) {
+        return e.kind() == ErrorKind::numerical_nan;
+      }
+      return false;
+    };
+    for (const std::size_t n : sizes) {
+      for (const double bad :
+           {std::nan(""), std::numeric_limits<double>::infinity()}) {
+        std::vector<cplx> a = random_vec(n, rng);
+        const std::vector<cplx> b = random_vec(n, rng);
+        a[n / 3] = cplx(bad, 0.0);
+        CHECK(throws_nan([&] { (void)vec_norm(a); }));
+        CHECK(throws_nan([&] { (void)vec_dot(a, b); }));
+        CHECK(throws_nan([&] { (void)vec_dot(b, a); }));
+      }
+      // Clean vectors of the same size keep not throwing.
+      const std::vector<cplx> a = random_vec(n, rng);
+      (void)vec_norm(a);
+    }
   }
 
   return gecos::test::finish("test_blas1");

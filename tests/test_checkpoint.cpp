@@ -1,0 +1,247 @@
+// Checkpoint-format suite: error taxonomy, XXH64 reference vectors,
+// bitwise save/load round trips for StateVector / SectorVector /
+// SectorBasis, the full corruption matrix (truncations at every 64-byte
+// boundary, single bit-flips across header/payload/checksum, wrong magic,
+// version skew) with a 100% detection requirement, and the .bak fallback
+// that recovery is built on.
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault_inject.hpp"
+#include "io/checkpoint.hpp"
+#include "io/xxhash.hpp"
+#include "state/state_vector.hpp"
+#include "symmetry/sector_basis.hpp"
+#include "symmetry/sector_vector.hpp"
+#include "test_util.hpp"
+#include "util/error.hpp"
+
+using namespace gecos;
+
+namespace {
+
+/// True when fn() throws a gecos::Error of exactly the given kind.
+bool throws_kind(ErrorKind kind, const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.kind() == kind;
+  } catch (...) {
+    return false;
+  }
+  return false;
+}
+
+/// True when fn() throws any gecos::Error (detection, kind not pinned).
+bool throws_error(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  // -- error taxonomy basics ------------------------------------------------
+  {
+    const Error e(ErrorKind::io_corrupt, "details");
+    CHECK(e.kind() == ErrorKind::io_corrupt);
+    CHECK_EQ(std::string(e.what()), std::string("io_corrupt: details"));
+    CHECK_EQ(std::string(to_string(ErrorKind::version_mismatch)),
+             std::string("version_mismatch"));
+    CHECK_EQ(std::string(to_string(ErrorKind::numerical_nan)),
+             std::string("numerical_nan"));
+    // It is a runtime_error, so legacy catch sites still see it.
+    const std::runtime_error& base = e;
+    CHECK(std::strstr(base.what(), "details") != nullptr);
+  }
+
+  // -- XXH64 reference vectors (spec test values) ---------------------------
+  {
+    CHECK_EQ(xxh64("", 0), 0xEF46DB3751D8E999ULL);
+    CHECK_EQ(xxh64("a", 1), 0xD24EC4F1A98C6E5BULL);
+    CHECK_EQ(xxh64("abc", 3), 0x44BC2CF5AD770999ULL);
+    const char fox[] = "The quick brown fox jumps over the lazy dog";
+    CHECK_EQ(xxh64(fox, sizeof(fox) - 1), 0x0B242D361FDA71BCULL);
+    // Seed participates; single-byte change avalanches.
+    CHECK(xxh64("abc", 3, 1) != xxh64("abc", 3, 0));
+    CHECK(xxh64("abd", 3) != xxh64("abc", 3));
+  }
+
+  // -- PayloadWriter/PayloadReader: typed round trip + bounds checking ------
+  {
+    PayloadWriter w;
+    w.put_u32(0xDEADBEEFu);
+    w.put_u64(0x0123456789ABCDEFULL);
+    w.put_f64(-13.8785798502);
+    w.put_string("rng-state blob");
+    const std::vector<cplx> amps = {cplx(1.5, -2.5), cplx(0.0, 3.25)};
+    w.put_cplx(amps);
+
+    PayloadReader r(w.bytes());
+    CHECK_EQ(r.get_u32(), 0xDEADBEEFu);
+    CHECK_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+    CHECK_EQ(r.get_f64(), -13.8785798502);
+    CHECK_EQ(r.get_string(), std::string("rng-state blob"));
+    std::vector<cplx> back(2);
+    r.get_cplx(back);
+    CHECK(std::memcmp(back.data(), amps.data(), 2 * sizeof(cplx)) == 0);
+    r.require_end();  // consumed exactly
+
+    PayloadReader over(w.bytes());
+    over.get_u64();
+    CHECK(throws_kind(ErrorKind::io_corrupt, [&] {
+      for (int i = 0; i < 100; ++i) over.get_u64();  // walks off the end
+    }));
+    PayloadReader under(w.bytes());
+    under.get_u32();
+    CHECK(throws_kind(ErrorKind::io_corrupt, [&] { under.require_end(); }));
+  }
+
+  // -- property round trips: random state -> save -> load -> bitwise equal --
+  const std::string path = "ckpt_test_state.bin";
+  remove_checkpoint(path);
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const StateVector psi = StateVector::random(6, seed);
+    save_state_vector(path, psi);
+    const StateVector back = load_state_vector(path);
+    CHECK_EQ(back.n_qubits(), psi.n_qubits());
+    CHECK(std::memcmp(back.amps().data(), psi.amps().data(),
+                      psi.dim() * sizeof(cplx)) == 0);
+  }
+  {
+    const SectorBasis basis = SectorBasis::spinful(8, 2, 2);
+    const SectorVector psi = SectorVector::random(basis, 99);
+    const std::string spath = "ckpt_test_sector.bin";
+    remove_checkpoint(spath);
+    save_sector_vector(spath, psi);
+    const SectorVector back = load_sector_vector(spath);
+    CHECK(back.basis() == psi.basis());
+    CHECK(std::memcmp(back.amps().data(), psi.amps().data(),
+                      psi.dim() * sizeof(cplx)) == 0);
+
+    const std::string bpath = "ckpt_test_basis.bin";
+    remove_checkpoint(bpath);
+    save_sector_basis(bpath, basis);
+    CHECK(load_sector_basis(bpath) == basis);
+
+    // Payload-kind confusion is detected, not misparsed.
+    CHECK(throws_kind(ErrorKind::io_corrupt,
+                      [&] { (void)load_sector_basis(spath); }));
+    remove_checkpoint(spath);
+    remove_checkpoint(bpath);
+  }
+
+  // -- corruption matrix: every injected fault must be detected -------------
+  {
+    const StateVector psi = StateVector::random(6, 5);
+    remove_checkpoint(path);
+    save_state_vector(path, psi);  // fresh file, no .bak to fall back to
+    const std::vector<unsigned char> pristine = test::read_file(path);
+    std::size_t injected = 0, detected = 0;
+
+    const auto expect_detection = [&](const std::function<void()>& corrupt) {
+      test::write_file(path, pristine);
+      corrupt();
+      ++injected;
+      if (throws_error([&] { (void)read_checkpoint(path); })) ++detected;
+    };
+
+    // Truncation at every 64-byte boundary, plus one byte short of intact.
+    for (std::size_t keep = 0; keep < pristine.size(); keep += 64)
+      expect_detection([&] { test::truncate_file(path, keep); });
+    expect_detection([&] { test::truncate_file(path, pristine.size() - 1); });
+
+    // Single bit-flips: every byte of the 24-byte header and the 8-byte
+    // trailing checksum, and a stride through the payload; rotate the bit
+    // index so all eight bit positions are exercised.
+    for (std::size_t off = 0; off < 24; ++off)
+      expect_detection([&] { test::flip_bit(path, off, off % 8); });
+    for (std::size_t off = pristine.size() - 8; off < pristine.size(); ++off)
+      expect_detection([&] { test::flip_bit(path, off, off % 8); });
+    for (std::size_t off = 24; off < pristine.size() - 8; off += 7)
+      expect_detection([&] { test::flip_bit(path, off, off % 8); });
+
+    // Wrong magic and version skew (version skew is checksum-valid, so it
+    // must surface as version_mismatch specifically).
+    expect_detection([&] { test::corrupt_magic(path); });
+    test::write_file(path, pristine);
+    test::rewrite_version(path, 999);
+    ++injected;
+    if (throws_kind(ErrorKind::version_mismatch,
+                    [&] { (void)read_checkpoint(path); }))
+      ++detected;
+    test::write_file(path, pristine);
+    test::rewrite_version(path, 0);
+    ++injected;
+    if (throws_kind(ErrorKind::version_mismatch,
+                    [&] { (void)read_checkpoint(path); }))
+      ++detected;
+
+    std::printf("corruption matrix: %zu/%zu detected\n", detected, injected);
+    CHECK_EQ(detected, injected);  // 100% detection, no exceptions
+
+    // And the pristine bytes still load (the matrix tested the file, not
+    // the reader's goodwill).
+    test::write_file(path, pristine);
+    const StateVector back = load_state_vector(path);
+    CHECK(std::memcmp(back.amps().data(), psi.amps().data(),
+                      psi.dim() * sizeof(cplx)) == 0);
+  }
+
+  // -- atomic rotation and .bak recovery ------------------------------------
+  {
+    const StateVector first = StateVector::random(6, 11);
+    const StateVector second = StateVector::random(6, 22);
+    remove_checkpoint(path);
+    save_state_vector(path, first);
+    save_state_vector(path, second);  // rotates first -> .bak
+
+    // Primary intact: primary wins.
+    StateVector got = load_state_vector(path);
+    CHECK(std::memcmp(got.amps().data(), second.amps().data(),
+                      second.dim() * sizeof(cplx)) == 0);
+
+    // Primary corrupted: recovery proceeds from the last good file.
+    test::flip_bit(path, 100, 3);
+    Checkpoint ck =
+        read_checkpoint_with_fallback(path, PayloadKind::kStateVector);
+    CHECK(ck.from_backup);
+    got = load_state_vector(path);
+    CHECK(std::memcmp(got.amps().data(), first.amps().data(),
+                      first.dim() * sizeof(cplx)) == 0);
+
+    // Primary missing entirely: same story.
+    test::remove_file(path);
+    got = load_state_vector(path);
+    CHECK(std::memcmp(got.amps().data(), first.amps().data(),
+                      first.dim() * sizeof(cplx)) == 0);
+    CHECK(checkpoint_exists(path));  // .bak counts as existence
+
+    // Both damaged: the primary's diagnosis is what surfaces.
+    save_state_vector(path, second);
+    test::flip_bit(path, 50, 1);
+    test::flip_bit(path + ".bak", 50, 1);
+    CHECK(throws_kind(ErrorKind::io_corrupt,
+                      [&] { (void)load_state_vector(path); }));
+
+    // A stray .tmp (torn write that never renamed) is ignored by readers.
+    remove_checkpoint(path);
+    save_state_vector(path, first);
+    test::write_file(path + ".tmp", {0xDE, 0xAD});
+    got = load_state_vector(path);
+    CHECK(std::memcmp(got.amps().data(), first.amps().data(),
+                      first.dim() * sizeof(cplx)) == 0);
+    remove_checkpoint(path);
+    CHECK(!checkpoint_exists(path));
+  }
+
+  return gecos::test::finish("test_checkpoint");
+}
