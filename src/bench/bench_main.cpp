@@ -15,11 +15,13 @@
 //
 // Every entry is a named *section*; `--only <substr>` (repeatable) runs the
 // matching subset, which is what keeps the dev loop short now that a full
-// run takes minutes. Each section seeds its own RNG, so a filtered run
-// reproduces the inputs of the full run exactly.
+// run takes minutes, and `--list` prints the registered entry names. Each
+// section seeds its own RNG, so a filtered run reproduces the inputs of the
+// full run exactly. The spectral_* entries pin the continued-fraction,
+// KPM and thermal-sampling estimators against dense eigh references.
 //
 // Usage: bench_main [--quick] [--out PATH] [--threads K] [--repeat K]
-//        [--only SUBSTR]... [--help]
+//        [--only SUBSTR]... [--list] [--help]
 // (see print_help)
 #include <algorithm>
 #include <array>
@@ -51,6 +53,9 @@
 #include "ops/term.hpp"
 #include "solver/krylov_evolve.hpp"
 #include "solver/lanczos.hpp"
+#include "spectral/continued_fraction.hpp"
+#include "spectral/kpm.hpp"
+#include "spectral/thermal.hpp"
 #include "state/state_vector.hpp"
 #include "symmetry/sector_operator.hpp"
 #include "symmetry/sector_vector.hpp"
@@ -196,10 +201,123 @@ FermionSum molecular_workload(bool quick, std::size_t& modes) {
 /// for a full-space re-solve.
 constexpr double kFullE0N20 = -13.8785798502;
 
+/// Dense matrix of any LinearOperator, column by column — the bench-side
+/// reference builder of the spectral_* gates (small dimensions only).
+Matrix dense_operator(const LinearOperator& a) {
+  const std::size_t d = a.dim();
+  Matrix m(d, d);
+  std::vector<cplx> x(d), y(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    std::fill(x.begin(), x.end(), cplx(0.0));
+    std::fill(y.begin(), y.end(), cplx(0.0));
+    x[c] = cplx(1.0);
+    a.apply_add(x, y, cplx(1.0));
+    for (std::size_t r = 0; r < d; ++r) m(r, c) = y[r];
+  }
+  return m;
+}
+
+/// Integrated |A_cf - exact Lorentzian pole sum| over a 601-point grid
+/// bracketing the spectrum — the acceptance metric of spectral_greens. The
+/// exact weights |<j|phi>|^2 come from the eigenvector projection.
+double cf_integrated_dev(const SpectralFunction& sf, const EigenSystem& es,
+                         std::span<const cplx> phi, double eta) {
+  const std::size_t d = es.eigenvalues.size();
+  std::vector<double> w(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    cplx amp(0.0);
+    for (std::size_t i = 0; i < d; ++i)
+      amp += std::conj(es.eigenvectors(i, j)) * phi[i];
+    w[j] = std::norm(amp);
+  }
+  const double lo = es.eigenvalues.front() - 1.0;
+  const double hi = es.eigenvalues.back() + 1.0;
+  const double dx = (hi - lo) / 600.0;
+  double dev = 0.0;
+  for (int i = 0; i <= 600; ++i) {
+    const double omega = lo + dx * i;
+    double ref = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double e = omega - es.eigenvalues[j];
+      ref += w[j] * (eta / M_PI) / (e * e + eta * eta);
+    }
+    const double diff = std::abs(sf.evaluate_at(omega, eta) - ref);
+    dev += (i == 0 || i == 600) ? 0.5 * diff : diff;
+  }
+  return dev * dx;
+}
+
+/// Integrated |rho_kpm - exact-moment Jackson reconstruction| over the
+/// interior 90% of the KPM bracket — the acceptance metric of
+/// spectral_kpm_dos. The reference moments come from the eigenvalues with
+/// the estimator's own bounds and kernel, so the shared broadening cancels.
+double kpm_integrated_dev(const KpmDos& kpm, const EigenSystem& es) {
+  const std::size_t mcount = kpm.moments().size();
+  const double shift = 0.5 * (kpm.e_max() + kpm.e_min());
+  const double scale = 0.5 * (kpm.e_max() - kpm.e_min());
+  const double dinv = 1.0 / static_cast<double>(es.eigenvalues.size());
+  std::vector<double> mu(mcount, 0.0);
+  for (double e : es.eigenvalues) {
+    const double x = (e - shift) / scale;
+    double tp = 1.0, tc = x;
+    mu[0] += dinv;
+    mu[1] += dinv * x;
+    for (std::size_t k = 2; k < mcount; ++k) {
+      const double tn = 2.0 * x * tc - tp;
+      tp = tc;
+      tc = tn;
+      mu[k] += dinv * tc;
+    }
+  }
+  const double m1 = static_cast<double>(mcount) + 1.0;
+  const double cot = std::cos(M_PI / m1) / std::sin(M_PI / m1);
+  std::vector<double> jack(mcount);
+  for (std::size_t k = 0; k < mcount; ++k) {
+    const double kd = static_cast<double>(k);
+    jack[k] = ((m1 - kd) * std::cos(M_PI * kd / m1) +
+               std::sin(M_PI * kd / m1) * cot) /
+              m1;
+  }
+  const double width = kpm.e_max() - kpm.e_min();
+  const double lo = kpm.e_min() + 0.05 * width;
+  const double dx = 0.9 * width / 600.0;
+  double dev = 0.0;
+  for (int i = 0; i <= 600; ++i) {
+    const double omega = lo + dx * i;
+    const double x = (omega - shift) / scale;
+    double cp = 1.0, cc = x;
+    double s = jack[0] * mu[0] + 2.0 * jack[1] * mu[1] * cc;
+    for (std::size_t k = 2; k < mcount; ++k) {
+      const double cn = 2.0 * x * cc - cp;
+      cp = cc;
+      cc = cn;
+      s += 2.0 * jack[k] * mu[k] * cc;
+    }
+    const double ref = s / (M_PI * std::sqrt(1.0 - x * x) * scale);
+    const double diff = std::abs(kpm.evaluate_at(omega) - ref);
+    dev += (i == 0 || i == 600) ? 0.5 * diff : diff;
+  }
+  return dev * dx;
+}
+
+/// Exact <H>_beta from the eigenvalues alone (the observable is diagonal in
+/// its own eigenbasis) — the acceptance reference of spectral_thermal.
+double thermal_energy_ref(const std::vector<double>& eigenvalues,
+                          double beta) {
+  const double e0 = eigenvalues.front();
+  double z = 0.0, acc = 0.0;
+  for (double e : eigenvalues) {
+    const double w = std::exp(-beta * (e - e0));
+    z += w;
+    acc += w * e;
+  }
+  return acc / z;
+}
+
 void print_help(const char* prog) {
   std::printf(
       "usage: %s [--quick] [--out PATH] [--threads K] [--repeat K]\n"
-      "       [--only SUBSTR]... [--help]\n"
+      "       [--only SUBSTR]... [--list] [--help]\n"
       "\n"
       "Runs the GECOS benchmark suite and writes a JSON report.\n"
       "\n"
@@ -222,6 +340,9 @@ void print_help(const char* prog) {
       "                --out the partial report goes to BENCH_partial.json\n"
       "                so the tracked full-suite artifact is never\n"
       "                clobbered\n"
+      "  --list        print the registered bench entry names (one per\n"
+      "                line, full-suite order) and exit without running\n"
+      "                anything; combine with --only to preview a filter\n"
       "  --help        print this message and exit\n"
       "\n"
       "Output schema \"gecos-bench-v2\":\n"
@@ -241,9 +362,17 @@ void print_help(const char* prog) {
       "reference); sector_* entries cover\n"
       "the U(1) symmetry-sector subsystem (sector_xcheck gates the sector\n"
       "ground state against the full-space value, sector_ground_state is\n"
-      "the n >= 28 scale proof, sector_quench the sector-native evolution).\n"
+      "the n >= 28 scale proof, sector_quench the sector-native evolution);\n"
+      "spectral_* entries cover the spectral & thermal workloads, each\n"
+      "gated against a dense eigh reference (spectral_greens: continued-\n"
+      "fraction A(w) full-space and sector-restricted within 1e-8\n"
+      "integrated deviation; spectral_kpm_dos: exact-trace KPM DOS within\n"
+      "the same gate, stochastic trace timed; spectral_thermal: sampled\n"
+      "<H>_beta inside its own error bars across a beta sweep,\n"
+      "bit-reproducible under the fixed seed).\n"
       "See DESIGN.md \"Benchmark methodology\", \"Krylov solver layer\",\n"
-      "\"Symmetry sectors\" and README.md \"Reading BENCH_pauli.json\".\n",
+      "\"Symmetry sectors\", \"Spectral & thermal workloads\" and README.md\n"
+      "\"Reading BENCH_pauli.json\".\n",
       prog);
 }
 
@@ -251,6 +380,7 @@ void print_help(const char* prog) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool list_only = false;  // --list: print entry names, run nothing
   int threads_flag = 0;  // 0 = not given; parallel entries then default to 4
   std::string out_path = "BENCH_pauli.json";
   bool out_given = false;
@@ -298,6 +428,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       only.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list_only = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
              std::strcmp(argv[i], "-h") == 0) {
       print_help(argv[0]);
@@ -306,7 +438,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "%s: unknown argument '%s'\nusage: %s [--quick] [--out "
                    "PATH] [--threads K] [--repeat K] [--only SUBSTR]... "
-                   "[--help]\n",
+                   "[--list] [--help]\n",
                    argv[0], argv[i], argv[0]);
       return 2;
     }
@@ -1066,6 +1198,198 @@ int main(int argc, char** argv) {
           {"sector_vs_full_max_diff", xdiff}}});
     return 0;
   }});
+
+  // -- spectral_greens: continued-fraction A(w) gated by dense eigh ----------
+  // Full-space n = 8 AND sector-restricted n = 10 (quick: n = 8 sector),
+  // both within 1e-8 integrated absolute deviation of the exact Lorentzian
+  // pole sum. The timed quantity is the full-space Lanczos build.
+  sections.push_back({"spectral_greens", [&] {
+    HubbardParams p;  // spinless ring, full space n = 8 (dim 256)
+    p.lx = 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const EigenSystem es = eigh(h.to_matrix());
+
+    std::mt19937_64 prng(kSeed);
+    std::normal_distribution<double> g;
+    std::vector<cplx> phi(256);
+    for (auto& x : phi) x = cplx(g(prng), g(prng));
+    SpectralFunctionOptions so;
+    so.max_moments = 256;
+    SpectralFunction sf(h, so);
+    const std::size_t m = sf.build(phi);
+    const double eta = 0.1;
+    const double dev_full = cf_integrated_dev(sf, es, phi, eta);
+
+    HubbardParams ps = p;  // sector lattice: n = 10, N = 5 (dim 252) full run
+    ps.lx = quick ? 8 : 10;
+    const ScbSum hsec = hubbard_scb(ps);
+    const SectorBasis sb = hubbard_sector(ps, quick ? 4 : 5);
+    const SectorOperator hs(sb, hsec);
+    const EigenSystem ess = eigh(dense_operator(hs));
+    const SectorVector sv = SectorVector::random(sb, kSeed);
+    SpectralFunctionOptions sso;
+    sso.max_moments = sb.dim();
+    SpectralFunction sfs(hs, sso);
+    sfs.build(sv.amps());
+    const double dev_sector = cf_integrated_dev(sfs, ess, sv.amps(), eta);
+
+    if (dev_full > 1e-8 || dev_sector > 1e-8) {
+      std::fprintf(stderr,
+                   "error: spectral_greens deviates from the dense reference "
+                   "(full %.3e, sector %.3e, gate 1e-8)\n",
+                   dev_full, dev_sector);
+      return 1;
+    }
+    const Timing t = time_per_op([&] { sink += sf.build(phi); }, min_s);
+    std::printf("spectral_greens      n=%zu moments=%zu build=%.3fms "
+                "dev_full=%.2e dev_sector=%.2e (sector_dim=%zu)\n",
+                p.lx, m, t.median * 1e3, dev_full, dev_sector, sb.dim());
+    results.push_back(
+        {"spectral_greens",
+         {{"num_qubits", static_cast<double>(p.lx)},
+          {"moments", static_cast<double>(m)},
+          {"eta", eta},
+          {"build_seconds_per_op", t.median},
+          {"min_build_seconds_per_op", t.min},
+          {"integrated_abs_dev_full", dev_full},
+          {"sector_dim", static_cast<double>(sb.dim())},
+          {"integrated_abs_dev_sector", dev_sector},
+          {"gate_integrated_abs_dev", 1e-8}}});
+    return 0;
+  }});
+
+  // -- spectral_kpm_dos: Chebyshev-moment DOS gated by dense eigh ------------
+  // Exact-trace moments (the dense-reference-grade mode) must match the
+  // eigenvalue-derived moments under the shared Jackson kernel to 1e-8
+  // integrated deviation, full-space and sector-restricted; the stochastic
+  // trace (the production mode at scale) is the timed quantity.
+  sections.push_back({"spectral_kpm_dos", [&] {
+    HubbardParams p;  // same full-space lattice as spectral_greens
+    p.lx = 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const EigenSystem es = eigh(h.to_matrix());
+
+    KpmDos kpm(h);  // M = 128, exact trace, power-iteration bounds
+    const std::size_t matvecs = kpm.compute();
+    const double dev_full = kpm_integrated_dev(kpm, es);
+
+    HubbardParams ps = p;  // sector lattice mirrors spectral_greens
+    ps.lx = quick ? 8 : 10;
+    const ScbSum hsec = hubbard_scb(ps);
+    const SectorBasis sb = hubbard_sector(ps, quick ? 4 : 5);
+    const SectorOperator hs(sb, hsec);
+    const EigenSystem ess = eigh(dense_operator(hs));
+    KpmDos kpms(hs);
+    kpms.compute();
+    const double dev_sector = kpm_integrated_dev(kpms, ess);
+
+    if (dev_full > 1e-8 || dev_sector > 1e-8) {
+      std::fprintf(stderr,
+                   "error: spectral_kpm_dos deviates from the dense reference "
+                   "(full %.3e, sector %.3e, gate 1e-8)\n",
+                   dev_full, dev_sector);
+      return 1;
+    }
+    KpmOptions sto;
+    sto.num_random = 16;
+    KpmDos kpmr(h, sto);
+    const Timing t = time_per_op([&] { sink += kpmr.compute(); }, min_s);
+    std::printf("spectral_kpm_dos     n=%zu M=%zu exact_matvecs=%zu "
+                "stochastic=%.3fms dev_full=%.2e dev_sector=%.2e\n",
+                p.lx, kpm.moments().size(), matvecs, t.median * 1e3, dev_full,
+                dev_sector);
+    results.push_back(
+        {"spectral_kpm_dos",
+         {{"num_qubits", static_cast<double>(p.lx)},
+          {"num_moments", static_cast<double>(kpm.moments().size())},
+          {"exact_trace_matvecs", static_cast<double>(matvecs)},
+          {"e_min", kpm.e_min()},
+          {"e_max", kpm.e_max()},
+          {"stochastic_samples", static_cast<double>(sto.num_random)},
+          {"stochastic_seconds_per_op", t.median},
+          {"min_stochastic_seconds_per_op", t.min},
+          {"integrated_abs_dev_full", dev_full},
+          {"sector_dim", static_cast<double>(sb.dim())},
+          {"integrated_abs_dev_sector", dev_sector},
+          {"gate_integrated_abs_dev", 1e-8}}});
+    return 0;
+  }});
+
+  // -- spectral_thermal: sampled <H>_beta gated by exact thermodynamics ------
+  // Across the beta sweep the estimate must sit within 3x its own reported
+  // jackknife error bar of the exact eigenvalue average, and a repeated
+  // call must be bit-identical (the fixed-seed reproducibility contract).
+  sections.push_back({"spectral_thermal", [&] {
+    HubbardParams p;  // spinless ring, n = 8 (dim 256)
+    p.lx = 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const EigenSystem es = eigh(h.to_matrix());
+
+    ThermalOptions to;
+    to.num_samples = 16;
+    ThermalSampler sampler(h, to);
+    const double betas[] = {0.5, 2.0, 8.0};
+    double max_sigma_dev = 0.0;
+    ThermalResult mid{};
+    for (double beta : betas) {
+      const ThermalResult r = sampler.energy(beta);
+      const double ref = thermal_energy_ref(es.eigenvalues, beta);
+      const double sigmas = std::abs(r.value - ref) / r.std_error;
+      max_sigma_dev = std::max(max_sigma_dev, sigmas);
+      if (beta == 2.0) mid = r;
+      if (sigmas > 3.0) {
+        std::fprintf(stderr,
+                     "error: spectral_thermal <H>_beta off by %.2f sigma at "
+                     "beta=%g (est %.6f +- %.6f, exact %.6f)\n",
+                     sigmas, beta, r.value, r.std_error, ref);
+        return 1;
+      }
+    }
+    const ThermalResult again = sampler.energy(2.0);
+    if (again.value != mid.value || again.std_error != mid.std_error) {
+      std::fprintf(stderr,
+                   "error: spectral_thermal repeated call not bit-identical "
+                   "(%.17g vs %.17g)\n",
+                   again.value, mid.value);
+      return 1;
+    }
+    const Timing t = time_per_op([&] { sink += sampler.energy(2.0).samples; },
+                                 min_s);
+    std::printf("spectral_thermal     n=%zu samples=%zu beta_max=%g "
+                "call=%.3fms max_dev=%.2f sigma E(2)=%.6f+-%.6f\n",
+                p.lx, to.num_samples, betas[2], t.median * 1e3, max_sigma_dev,
+                mid.value, mid.std_error);
+    results.push_back(
+        {"spectral_thermal",
+         {{"num_qubits", static_cast<double>(p.lx)},
+          {"num_samples", static_cast<double>(to.num_samples)},
+          {"beta_max", betas[2]},
+          {"seconds_per_call", t.median},
+          {"min_seconds_per_call", t.min},
+          {"energy_beta2", mid.value},
+          {"std_error_beta2", mid.std_error},
+          {"log_z_over_dim_beta2", mid.log_z_over_dim},
+          {"matvecs_per_call", static_cast<double>(mid.matvecs)},
+          {"max_sigma_dev", max_sigma_dev},
+          {"gate_max_sigma_dev", 3.0},
+          {"reproducible", 1.0}}});
+    return 0;
+  }});
+
+  // -- --list: print the registry and exit -----------------------------------
+  if (list_only) {
+    for (const Section& s : sections) std::printf("%s\n", s.name);
+    return 0;
+  }
 
   // -- filter validation + run -----------------------------------------------
   // One match predicate for both the validation loop and the run loop, so

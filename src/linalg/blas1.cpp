@@ -73,6 +73,13 @@ void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x) {
   });
 }
 
+void vec_axpby(std::span<cplx> y, cplx a, std::span<const cplx> x, cplx b) {
+  assert(y.size() == x.size());
+  parallel_for(y.size(), [&](std::size_t b0, std::size_t e, int) {
+    for (std::size_t i = b0; i < e; ++i) y[i] = a * x[i] + b * y[i];
+  });
+}
+
 void vec_copy(std::span<cplx> dst, std::span<const cplx> src) {
   assert(dst.size() == src.size());
   parallel_for(dst.size(), [&](std::size_t b, std::size_t e, int) {

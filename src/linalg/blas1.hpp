@@ -33,6 +33,12 @@ double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b);
 void vec_scale(std::span<cplx> v, cplx s);
 /// y += s * x (sizes must match).
 void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x);
+/// y = a * x + b * y in one pass (sizes must match) — the fused update of
+/// the Chebyshev three-term recurrence t_{k+1} = 2 H t_k - t_{k-1} used by
+/// the kernel-polynomial layer (src/spectral/kpm.hpp): the shift-and-negate
+/// of the previous vector and the scaled current vector land in a single
+/// sweep instead of a scale followed by an axpy.
+void vec_axpby(std::span<cplx> y, cplx a, std::span<const cplx> x, cplx b);
 /// dst = src elementwise (sizes must match, buffers must not overlap).
 void vec_copy(std::span<cplx> dst, std::span<const cplx> src);
 /// v = s elementwise.

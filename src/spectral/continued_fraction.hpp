@@ -1,0 +1,105 @@
+// Continued-fraction Lanczos for dynamical correlation functions.
+//
+// The dynamical structure of a Hermitian system lives in resolvent matrix
+// elements: for a probe state |phi> = B|psi> the spectral function is
+//
+//   A(w) = -(1/pi) Im <phi| (w + i eta - H)^{-1} |phi>
+//        =  sum_j |<j|phi>|^2 * (eta/pi) / ((w - E_j)^2 + eta^2),
+//
+// a Lorentzian-broadened line spectrum. The Lanczos recurrence from
+// v_0 = phi/||phi|| tridiagonalizes H over exactly the invariant subspace
+// that carries |phi>'s weight, and the resolvent's (0,0) element is then the
+// continued fraction
+//
+//   G(z) = 1 / (z - a_0 - b_0^2 / (z - a_1 - b_1^2 / (...)))
+//
+// with a_j/b_j the recurrence coefficients — so m matvecs buy the FULL
+// frequency dependence at once (the tridiagonal T is z-independent), where a
+// naive shifted solve would pay a Krylov run per frequency point. A
+// breakdown (b_j below tolerance) means the invariant subspace is exhausted
+// and the continued fraction is EXACT from that depth on. Reorthogonalization
+// is full (two-pass Gram-Schmidt against the whole basis, the
+// tests-trustworthy choice of the Lanczos eigensolver); bases are
+// preallocated at construction, so build() and evaluate() are
+// allocation-free after warm-up. Runs unchanged on SectorOperator inputs —
+// only apply_add and dim() are used. See DESIGN.md "Spectral & thermal
+// workloads".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ops/linear_op.hpp"
+#include "state/krylov_basis.hpp"
+
+namespace gecos {
+
+/// Tuning knobs for the continued-fraction builder.
+struct SpectralFunctionOptions {
+  /// Lanczos depth cap m (clamped to the operator dimension at
+  /// construction; m = dim() with full reorthogonalization makes the
+  /// continued fraction exact on the probe state's invariant subspace).
+  std::size_t max_moments = 256;
+  /// Recurrence norm below breakdown_tol * ||phi|| stops the build — the
+  /// invariant subspace is exhausted and the fraction is exact.
+  double breakdown_tol = 1e-12;
+};
+
+/// Continued-fraction spectral function of one probe state.
+class SpectralFunction {
+ public:
+  /// Captures the operator by reference (it must outlive this object) and
+  /// preallocates the Lanczos basis for max_moments vectors. Throws
+  /// std::invalid_argument when the operator dimension is < 2 or
+  /// max_moments == 0.
+  explicit SpectralFunction(const LinearOperator& h,
+                            SpectralFunctionOptions opts = {});
+
+  /// Tridiagonalizes H from the (unnormalized) probe state phi and returns
+  /// the number of moments built (== depth reached; early on breakdown).
+  /// phi.size() must equal the operator dimension and ||phi|| must be
+  /// nonzero (std::invalid_argument otherwise). Allocation-free after the
+  /// first call.
+  std::size_t build(std::span<const cplx> phi);
+  /// Convenience form for A_B(w) of an operator probe: phi = B psi is
+  /// applied into an internal scratch buffer, then built as above. B must
+  /// share the operator dimension.
+  std::size_t build(const LinearOperator& b, std::span<const cplx> psi);
+
+  /// Moments built by the last build() (0 before the first).
+  std::size_t moments() const { return m_; }
+  /// Probe weight ||phi||^2 of the last build — the total integrated
+  /// spectral weight sum_j |<j|phi>|^2.
+  double weight() const { return weight_; }
+  /// Recurrence diagonal a_0..a_{m-1} of the last build.
+  std::span<const double> alpha() const { return {alpha_.data(), m_}; }
+  /// Recurrence off-diagonal b_0..b_{m-2} of the last build.
+  std::span<const double> beta() const {
+    return {beta_.data(), m_ > 0 ? m_ - 1 : 0};
+  }
+
+  /// Resolvent element weight * <v0|(z - H)^{-1}|v0> by bottom-up
+  /// evaluation of the continued fraction. Requires a prior build().
+  cplx greens(cplx z) const;
+  /// A(w) = -(1/pi) Im greens(w + i eta); eta > 0 is the Lorentzian
+  /// broadening half-width.
+  double evaluate_at(double omega, double eta) const;
+  /// Grid form: out[i] = evaluate_at(omega[i], eta); sizes must match
+  /// (std::invalid_argument otherwise). Allocation-free.
+  void evaluate(std::span<const double> omega, double eta,
+                std::span<double> out) const;
+
+ private:
+  const LinearOperator& op_;
+  SpectralFunctionOptions opts_;
+  std::size_t dim_ = 0;
+  std::size_t cap_ = 0;      // moment cap actually preallocated
+  std::size_t m_ = 0;        // moments built by the last build()
+  double weight_ = 0.0;      // ||phi||^2 of the last build()
+  KrylovBasis basis_;        // cap_ + 1 slots: v_0..v_cap
+  std::vector<double> alpha_, beta_;
+  mutable std::vector<cplx> scratch_;  // operator-probe application buffer
+};
+
+}  // namespace gecos

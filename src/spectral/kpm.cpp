@@ -1,0 +1,153 @@
+#include "spectral/kpm.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "linalg/blas1.hpp"
+
+namespace gecos {
+
+KpmDos::KpmDos(const LinearOperator& h, KpmOptions opts)
+    : op_(h), opts_(opts), dim_(h.dim()) {
+  if (opts_.num_moments < 2)
+    throw std::invalid_argument("KpmDos: num_moments must be >= 2");
+  if (dim_ < 2)
+    throw std::invalid_argument("KpmDos: operator dimension must be >= 2");
+  if (opts_.e_min < opts_.e_max) {
+    e_min_ = opts_.e_min;
+    e_max_ = opts_.e_max;
+  } else {
+    const SpectralBounds b = estimate_spectral_bounds(h, opts_.bounds);
+    e_min_ = b.e_min;
+    e_max_ = b.e_max;
+  }
+  shift_ = 0.5 * (e_max_ + e_min_);
+  scale_ = 0.5 * (e_max_ - e_min_);
+  if (!(scale_ > 0.0))
+    throw std::invalid_argument("KpmDos: spectral bounds must have e_min < e_max");
+  t0_.resize(dim_);
+  t1_.resize(dim_);
+  mu_.resize(opts_.num_moments);
+
+  // Jackson damping factors g_k: the positive resolution kernel of width
+  // ~ pi/M that replaces the Gibbs-ringing sharp truncation.
+  const double m1 = static_cast<double>(opts_.num_moments) + 1.0;
+  const double cot = std::cos(M_PI / m1) / std::sin(M_PI / m1);
+  jackson_.resize(opts_.num_moments);
+  for (std::size_t k = 0; k < opts_.num_moments; ++k) {
+    const double kd = static_cast<double>(k);
+    jackson_[k] =
+        ((m1 - kd) * std::cos(M_PI * kd / m1) + std::sin(M_PI * kd / m1) * cot) /
+        m1;
+  }
+}
+
+void KpmDos::apply_scaled(std::span<const cplx> x, std::span<cplx> y) const {
+  vec_fill(y, cplx(0.0));
+  op_.apply_add(x, y, cplx(1.0 / scale_));
+  vec_axpy(y, cplx(-shift_ / scale_), x);
+}
+
+std::size_t KpmDos::accumulate_moments() {
+  const std::size_t m = opts_.num_moments;
+  const double n0 = vec_norm(t0_);
+  const double m0 = n0 * n0;
+  apply_scaled(t0_, t1_);
+  std::size_t matvecs = 1;
+  const double m1 = vec_dot(t0_, t1_).real();
+  mu_[0] += m0;
+  mu_[1] += m1;
+  // Two moments per matvec: mu_{2k} and mu_{2k+1} come from the recurrence
+  // pair (T_k r, T_{k+1} r) via 2 T_j T_k = T_{j+k} + T_{|j-k|}.
+  for (std::size_t k = 1; 2 * k < m; ++k) {
+    const double nk = vec_norm(t1_);
+    mu_[2 * k] += 2.0 * nk * nk - m0;
+    if (2 * k + 1 >= m) break;
+    // t0 <- 2 H~ t1 - t0 in one fused sweep plus one apply_add, then swap:
+    // (t0, t1) becomes (T_k r, T_{k+1} r).
+    vec_axpby(t0_, cplx(-2.0 * shift_ / scale_), t1_, cplx(-1.0));
+    op_.apply_add(t1_, t0_, cplx(2.0 / scale_));
+    ++matvecs;
+    std::swap(t0_, t1_);
+    mu_[2 * k + 1] += 2.0 * vec_dot(t1_, t0_).real() - m1;
+  }
+  return matvecs;
+}
+
+std::size_t KpmDos::compute() {
+  std::fill(mu_.begin(), mu_.end(), 0.0);
+  std::size_t matvecs = 0;
+  std::size_t samples = 0;
+  if (opts_.num_random == 0) {
+    // Exact trace: one Chebyshev recurrence per basis state. O(dim * M / 2)
+    // matvecs — the dense-reference-grade mode for small sectors.
+    for (std::size_t i = 0; i < dim_; ++i) {
+      vec_fill(t0_, cplx(0.0));
+      t0_[i] = cplx(1.0);
+      matvecs += accumulate_moments();
+      ++samples;
+    }
+  } else {
+    // Stochastic trace: normalized Gaussian probes, E<r|T|r> = Tr T / dim.
+    std::mt19937_64 rng(opts_.seed);
+    std::normal_distribution<double> g;
+    for (std::size_t s = 0; s < opts_.num_random; ++s) {
+      for (auto& x : t0_) x = cplx(g(rng), g(rng));
+      vec_scale(t0_, cplx(1.0 / vec_norm(t0_)));
+      matvecs += accumulate_moments();
+      ++samples;
+    }
+  }
+  const double inv = opts_.num_random == 0
+                         ? 1.0 / static_cast<double>(dim_)
+                         : 1.0 / static_cast<double>(samples);
+  for (double& v : mu_) v *= inv;
+  weight_ = 1.0;
+  computed_ = true;
+  return matvecs;
+}
+
+std::size_t KpmDos::compute_local(std::span<const cplx> phi) {
+  if (phi.size() != dim_)
+    throw std::invalid_argument("KpmDos::compute_local: dimension mismatch");
+  const double nrm = vec_norm(phi);
+  if (nrm == 0.0)
+    throw std::invalid_argument("KpmDos::compute_local: zero probe state");
+  std::fill(mu_.begin(), mu_.end(), 0.0);
+  vec_copy(t0_, phi);
+  vec_scale(t0_, cplx(1.0 / nrm));
+  const std::size_t matvecs = accumulate_moments();
+  weight_ = nrm * nrm;
+  computed_ = true;
+  return matvecs;
+}
+
+double KpmDos::evaluate_at(double omega) const {
+  if (!computed_)
+    throw std::invalid_argument("KpmDos::evaluate_at: no compute yet");
+  const double x = (omega - shift_) / scale_;
+  if (!(std::abs(x) < 1.0)) return 0.0;
+  // Damped Chebyshev series via the scalar three-term recurrence.
+  double ck_prev = 1.0;  // T_0(x)
+  double ck = x;         // T_1(x)
+  double s = jackson_[0] * mu_[0] + 2.0 * jackson_[1] * mu_[1] * ck;
+  for (std::size_t k = 2; k < opts_.num_moments; ++k) {
+    const double cn = 2.0 * x * ck - ck_prev;
+    ck_prev = ck;
+    ck = cn;
+    s += 2.0 * jackson_[k] * mu_[k] * ck;
+  }
+  return weight_ * s / (M_PI * std::sqrt(1.0 - x * x) * scale_);
+}
+
+void KpmDos::evaluate(std::span<const double> omega,
+                      std::span<double> out) const {
+  if (omega.size() != out.size())
+    throw std::invalid_argument("KpmDos::evaluate: grid/output size mismatch");
+  for (std::size_t i = 0; i < omega.size(); ++i)
+    out[i] = evaluate_at(omega[i]);
+}
+
+}  // namespace gecos

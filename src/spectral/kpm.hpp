@@ -1,0 +1,105 @@
+// Kernel-polynomial method: Chebyshev-moment densities of states.
+//
+// The density of states rho(E) = (1/D) sum_j delta(E - E_j) is the one
+// spectral quantity that needs NO eigenvector and no probe state — and the
+// Chebyshev moments mu_k = (1/D) Tr T_k(H~) reach it through nothing but
+// repeated apply_add. H~ = (H - b)/a is the operator rescaled into (-1, 1)
+// by the power-iteration bounds of src/spectral/spectral_bounds.hpp; the
+// trace is taken either EXACTLY (one recurrence per basis state — the
+// dense-reference-grade mode for small dimensions) or STOCHASTICALLY (R
+// normalized Gaussian vectors, whose expectation <r|T|r> is Tr T / D, with
+// fluctuations ~ 1/sqrt(R D)). Each probe vector yields two moments per
+// matvec through the product identities 2 T_j T_k = T_{j+k} + T_{|j-k|}.
+// Truncating the Chebyshev series at M moments rings (Gibbs); the Jackson
+// kernel damps the coefficients into a strictly positive resolution kernel
+// of width ~ pi/M — the broadening is part of the ESTIMATOR's definition,
+// so exactness tests compare against the dense reference smeared with the
+// same kernel (tests/spectral_ref.hpp). Local densities of states
+// <phi| delta(E - H) |phi> use the same machinery from a caller-supplied
+// probe vector. Work vectors are preallocated at construction (compute() is
+// allocation-free after warm-up) and every inner loop is a shared BLAS-1
+// kernel, so the recurrence parallelizes like every other amplitude sweep.
+// Runs unchanged on SectorOperator inputs. See DESIGN.md "Spectral &
+// thermal workloads".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ops/linear_op.hpp"
+#include "spectral/spectral_bounds.hpp"
+#include "state/state_vector.hpp"
+
+namespace gecos {
+
+/// Tuning knobs for the KPM moment machinery.
+struct KpmOptions {
+  std::size_t num_moments = 128;  ///< Chebyshev truncation order M (>= 2)
+  /// Stochastic-trace sample count; 0 selects the exact trace (one
+  /// recurrence per basis state — affordable only at small dim()).
+  std::size_t num_random = 0;
+  std::uint64_t seed = 20260808;  ///< sample-vector seed (reproducible)
+  /// Explicit spectral bounds; used when e_min < e_max, otherwise the
+  /// power-iteration estimate runs at construction.
+  double e_min = 0.0;
+  double e_max = 0.0;
+  SpectralBoundsOptions bounds;   ///< knobs of the automatic estimate
+};
+
+/// Chebyshev-moment density-of-states estimator with Jackson damping.
+class KpmDos {
+ public:
+  /// Captures the operator by reference (it must outlive this object),
+  /// resolves the spectral bounds (explicit or power-iteration) and
+  /// preallocates the three recurrence vectors and the moment buffers.
+  /// Throws std::invalid_argument on num_moments < 2 or dim() < 2.
+  explicit KpmDos(const LinearOperator& h, KpmOptions opts = {});
+
+  /// Computes the DOS moments mu_k = (1/D) Tr T_k(H~): exact trace when
+  /// opts.num_random == 0, stochastic otherwise. Returns the operator
+  /// applications spent. Allocation-free after the first call.
+  std::size_t compute();
+  /// Local-DOS moments mu_k = <phi~|T_k(H~)|phi~> of the normalized probe
+  /// (the spectral measure of phi; evaluate() then integrates to 1 * the
+  /// stored weight ||phi||^2). phi must have the operator dimension and
+  /// nonzero norm.
+  std::size_t compute_local(std::span<const cplx> phi);
+
+  /// Resolved spectral bracket (explicit or estimated at construction).
+  double e_min() const { return e_min_; }
+  double e_max() const { return e_max_; }
+  /// Raw (undamped) moments of the last compute; size num_moments.
+  std::span<const double> moments() const { return mu_; }
+  /// Total weight of the represented measure: 1 for the DOS modes, the
+  /// probe norm squared for compute_local.
+  double weight() const { return weight_; }
+
+  /// Jackson-reconstructed density at omega — zero outside the resolved
+  /// bounds; integrates to weight() over the bracket. Requires a prior
+  /// compute()/compute_local().
+  double evaluate_at(double omega) const;
+  /// Grid form: out[i] = evaluate_at(omega[i]); sizes must match
+  /// (std::invalid_argument otherwise). Allocation-free.
+  void evaluate(std::span<const double> omega, std::span<double> out) const;
+
+ private:
+  /// Accumulates the 2-moments-per-matvec Chebyshev recurrence of one probe
+  /// vector (already loaded in t0_) into mu_; returns the matvecs spent.
+  std::size_t accumulate_moments();
+  /// y = H~ x = ((H - b)/a) x through apply_add plus one fused axpy.
+  void apply_scaled(std::span<const cplx> x, std::span<cplx> y) const;
+
+  const LinearOperator& op_;
+  KpmOptions opts_;
+  std::size_t dim_ = 0;
+  double e_min_ = 0.0, e_max_ = 0.0;
+  double scale_ = 1.0, shift_ = 0.0;  // a, b of H~ = (H - b)/a
+  double weight_ = 0.0;
+  bool computed_ = false;
+  AlignedVec t0_, t1_;                // recurrence pair T_{k-1} r, T_k r
+  std::vector<double> mu_;            // accumulated moments
+  std::vector<double> jackson_;       // g_k damping factors (fixed by M)
+};
+
+}  // namespace gecos

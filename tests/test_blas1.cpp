@@ -60,6 +60,15 @@ int main() {
       err = std::max(err, std::abs(y[i] - (b[i] + s * a[i]) * s));
     CHECK_NEAR(err, 0.0, 1e-13);
 
+    // vec_axpby: the fused y = a x + b y of the Chebyshev recurrence.
+    const cplx t(-1.3, 0.2);
+    y = b;
+    vec_axpby(y, s, a, t);
+    err = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      err = std::max(err, std::abs(y[i] - (s * a[i] + t * b[i])));
+    CHECK_NEAR(err, 0.0, 1e-13);
+
     // vec_copy / vec_fill.
     std::vector<cplx> c(n, cplx(9.0));
     vec_copy(c, a);

@@ -1,0 +1,262 @@
+// Kernel-polynomial DOS suite, pinned against the dense eigh reference with
+// the IDENTICAL Jackson kernel and spectral bracket (tests/spectral_ref.hpp).
+// Pins (1) exact-trace moments and DOS at n = 8 match the dense reference
+// to <= 1e-8 integrated absolute deviation, (2) the power-iteration bounds
+// bracket the true spectrum, (3) the same gate sector-restricted at n = 10
+// (dim 252), (4) local DOS of a probe state against its dense reference,
+// (5) stochastic-trace reproducibility (bit-identical under one seed) and
+// consistency with the exact trace, (6) explicit-bounds passthrough,
+// (7) warm recompute allocates nothing, and (8) the error paths.
+#include "alloc_probe.hpp"  // first: replaces global operator new
+// clang-format off
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <stdexcept>
+#include <vector>
+// clang-format on
+
+#include "fermion/hubbard.hpp"
+#include "linalg/blas1.hpp"
+#include "linalg/expm.hpp"
+#include "ops/scb_sum.hpp"
+#include "spectral/kpm.hpp"
+#include "spectral/spectral_bounds.hpp"
+#include "spectral_ref.hpp"
+#include "symmetry/sector_operator.hpp"
+#include "symmetry/sector_vector.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+namespace {
+
+/// Integrated |rho_kpm - rho_ref| over the interior 90% of the bracket
+/// (the shared grid of the exactness gates; edges excluded because the
+/// 1/sqrt(1-x^2) Chebyshev weight is singular there).
+double kpm_vs_ref(const KpmDos& kpm, const gecos::test::KpmRef& ref) {
+  const double w = kpm.e_max() - kpm.e_min();
+  const std::vector<double> grid = gecos::test::linspace(
+      kpm.e_min() + 0.05 * w, kpm.e_max() - 0.05 * w, 601);
+  std::vector<double> a(grid.size()), b(grid.size());
+  kpm.evaluate(grid, a);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    b[i] = ref.evaluate_at(grid[i]);
+  return gecos::test::integrated_abs_dev(a, b, grid[1] - grid[0]);
+}
+
+}  // namespace
+
+int main() {
+  // -- exact-trace DOS at n = 8 (dim 256) vs the dense reference -------------
+  {
+    HubbardParams p;  // spinless ring, n = 8
+    p.lx = 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const EigenSystem es = eigh(h.to_matrix());
+
+    KpmDos kpm(h);  // M = 128, exact trace, automatic bounds
+    const std::size_t matvecs = kpm.compute();
+    CHECK_EQ(matvecs, std::size_t{256 * 64});  // dim * M/2: doubling trick
+
+    // The power-iteration bracket must contain the true spectrum — KPM
+    // moments are meaningless for eigenvalues mapped outside (-1, 1).
+    CHECK(kpm.e_min() < es.eigenvalues.front());
+    CHECK(kpm.e_max() > es.eigenvalues.back());
+
+    const auto ref = gecos::test::KpmRef::dos(es, kpm.e_min(), kpm.e_max(),
+                                              kpm.moments().size());
+    CHECK_NEAR(kpm.moments()[0], 1.0, 1e-12);
+    for (std::size_t k = 0; k < ref.mu.size(); ++k)
+      CHECK_NEAR(kpm.moments()[k], ref.mu[k], 1e-10);
+    CHECK(kpm_vs_ref(kpm, ref) < 1e-8);
+  }
+
+  // -- sector-restricted exact trace at n = 10 (N = 5 sector, dim 252) ------
+  {
+    HubbardParams p;  // spinless ring, n = 10
+    p.lx = 10;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const SectorBasis b = hubbard_sector(p, 5);
+    const SectorOperator hs(b, h);
+    const EigenSystem es = eigh(gecos::test::dense_of(hs));
+
+    KpmDos kpm(hs);
+    kpm.compute();
+    CHECK(kpm.e_min() < es.eigenvalues.front());
+    CHECK(kpm.e_max() > es.eigenvalues.back());
+    const auto ref = gecos::test::KpmRef::dos(es, kpm.e_min(), kpm.e_max(),
+                                              kpm.moments().size());
+    CHECK(kpm_vs_ref(kpm, ref) < 1e-8);
+  }
+
+  // -- local DOS of a probe state vs its dense reference ---------------------
+  {
+    HubbardParams p;  // open chain, n = 6 (dim 64)
+    p.lx = 6;
+    p.u = 2.0;
+    p.mu = 0.3;
+    const ScbSum h = hubbard_scb(p);
+    const EigenSystem es = eigh(h.to_matrix());
+
+    std::mt19937_64 rng(42);
+    std::normal_distribution<double> g;
+    std::vector<cplx> phi(64);
+    for (auto& x : phi) x = cplx(g(rng), g(rng));  // unnormalized on purpose
+
+    KpmDos kpm(h);
+    kpm.compute_local(phi);
+    const double nrm = vec_norm(phi);
+    CHECK_NEAR(kpm.weight(), nrm * nrm, 1e-10 * nrm * nrm);
+    const auto ref = gecos::test::KpmRef::local(es, phi, kpm.e_min(),
+                                                kpm.e_max(),
+                                                kpm.moments().size());
+    CHECK(kpm_vs_ref(kpm, ref) < 1e-8);
+  }
+
+  // -- stochastic trace: seeded reproducibility + exact-trace consistency ----
+  {
+    HubbardParams p;
+    p.lx = 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+
+    KpmOptions ko;
+    ko.num_random = 32;
+    KpmDos a(h, ko), b(h, ko);
+    a.compute();
+    b.compute();
+    // Bit-identical under one seed — the reproducibility contract.
+    for (std::size_t k = 0; k < a.moments().size(); ++k)
+      CHECK(a.moments()[k] == b.moments()[k]);
+
+    KpmOptions ko2 = ko;
+    ko2.seed = 99;
+    KpmDos c(h, ko2);
+    c.compute();
+    double diff = 0.0;
+    for (std::size_t k = 0; k < a.moments().size(); ++k)
+      diff += std::abs(a.moments()[k] - c.moments()[k]);
+    CHECK(diff > 0.0);  // a different seed draws different probes
+
+    // 32 Gaussian probes over dim 256: moment fluctuations ~ 1/sqrt(R*D).
+    KpmDos exact(h);
+    exact.compute();
+    const std::vector<double> grid =
+        gecos::test::linspace(exact.e_min() + 0.8, exact.e_max() - 0.8, 301);
+    std::vector<double> da(grid.size()), de(grid.size());
+    a.evaluate(grid, da);
+    exact.evaluate(grid, de);
+    CHECK(gecos::test::integrated_abs_dev(da, de, grid[1] - grid[0]) < 0.2);
+  }
+
+  // -- explicit bounds passthrough -------------------------------------------
+  {
+    HubbardParams p;
+    p.lx = 4;
+    const ScbSum h = hubbard_scb(p);
+    KpmOptions ko;
+    ko.e_min = -9.0;
+    ko.e_max = 7.0;
+    const KpmDos kpm(h, ko);
+    CHECK_EQ(kpm.e_min(), -9.0);
+    CHECK_EQ(kpm.e_max(), 7.0);
+  }
+
+  // -- allocation probe: warm recompute allocates nothing --------------------
+  {
+    HubbardParams p;
+    p.lx = 6;
+    p.u = 2.0;
+    const ScbSum h = hubbard_scb(p);
+    KpmOptions ko;
+    ko.num_moments = 64;
+    KpmDos kpm(h, ko);
+    kpm.compute();
+    std::vector<double> grid = gecos::test::linspace(-6.0, 6.0, 101);
+    std::vector<double> out(grid.size());
+    kpm.evaluate(grid, out);
+    const long before = gecos::test::allocations();
+    kpm.compute();
+    kpm.evaluate(grid, out);
+    const long delta = gecos::test::allocations() - before;
+#if GECOS_ALLOC_PROBE_ACTIVE
+    CHECK_EQ(delta, 0L);
+#endif
+    std::printf("alloc probe: %ld allocations during warm recompute\n", delta);
+  }
+
+  // -- error paths -----------------------------------------------------------
+  {
+    HubbardParams p;
+    p.lx = 4;
+    const ScbSum h = hubbard_scb(p);
+
+    bool threw = false;
+    try {
+      KpmOptions ko;
+      ko.num_moments = 1;
+      KpmDos bad(h, ko);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    KpmDos kpm(h);
+    threw = false;
+    try {
+      kpm.evaluate_at(0.0);  // no compute yet
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    const std::vector<cplx> short_probe(4, cplx(1.0));
+    threw = false;
+    try {
+      kpm.compute_local(short_probe);  // wrong dimension
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    const std::vector<cplx> zero_probe(16, cplx(0.0));
+    threw = false;
+    try {
+      kpm.compute_local(zero_probe);  // zero probe
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    kpm.compute();
+    threw = false;
+    try {
+      std::vector<double> grid(10), out(9);
+      kpm.evaluate(grid, out);  // size mismatch
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    threw = false;
+    try {
+      SpectralBoundsOptions bo;
+      bo.iters = 0;
+      estimate_spectral_bounds(h, bo);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return gecos::test::finish("test_kpm");
+}

@@ -1,8 +1,11 @@
 // Dense linalg: the cache-blocked product must match a naive triple loop to
 // within FMA-contraction noise, expm must be unaffected by the
-// scratch-buffer reuse, and the small helpers must hold up.
+// scratch-buffer reuse, norm2_est must track the exact spectral norm from
+// eigh on random Hermitians, and the small helpers must hold up.
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <random>
 
 #include "linalg/expm.hpp"
@@ -113,6 +116,24 @@ int main() {
     CHECK_NEAR(recon.max_abs_diff(h), 0.0, 1e-9);
     for (std::size_t k = 0; k + 1 < n; ++k)
       CHECK(es.eigenvalues[k] <= es.eigenvalues[k + 1]);
+  }
+
+  // norm2_est vs the exact spectral norm max|lambda| from eigh on random
+  // Hermitians: power iteration on A^dagger A converges from below, so the
+  // estimate must sit in [0.99 * sigma_max, sigma_max * (1 + 1e-12)] at a
+  // generous iteration count, and the few-iteration default stays a sane
+  // same-order estimate (it feeds step-size heuristics, not proofs).
+  for (std::size_t n : {std::size_t{4}, std::size_t{16}, std::size_t{48}}) {
+    const Matrix h = Matrix::random_hermitian(n, rng);
+    const EigenSystem es = eigh(h);
+    double sigma = 0.0;
+    for (double e : es.eigenvalues) sigma = std::max(sigma, std::abs(e));
+    const double est = h.norm2_est(200);
+    CHECK(est <= sigma * (1.0 + 1e-12));
+    CHECK(est >= 0.99 * sigma);
+    const double quick = h.norm2_est();
+    CHECK(quick <= sigma * (1.0 + 1e-12));
+    CHECK(quick >= 0.5 * sigma);
   }
 
   // Small helpers.

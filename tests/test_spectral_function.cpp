@@ -1,0 +1,225 @@
+// Continued-fraction spectral function suite, pinned against the dense
+// eigh reference of tests/spectral_ref.hpp. Pins (1) full-space A(w) at
+// n = 8 matches the exact Lorentzian pole sum to <= 1e-8 integrated
+// absolute deviation, (2) the operator-probe build B|psi> agrees with the
+// dense B phi reference, (3) the same gate holds sector-restricted at
+// n = 10 (dim 252), (4) breakdown on an exact eigenvector stops at one
+// moment and reproduces the single Lorentzian, (5) A(w) >= 0 everywhere
+// (Herglotz continued fraction), (6) warm rebuild + evaluate allocate
+// nothing, and (7) the std::invalid_argument error paths.
+#include "alloc_probe.hpp"  // first: replaces global operator new
+// clang-format off
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <stdexcept>
+#include <vector>
+// clang-format on
+
+#include "fermion/hubbard.hpp"
+#include "linalg/blas1.hpp"
+#include "linalg/expm.hpp"
+#include "ops/scb_sum.hpp"
+#include "spectral/continued_fraction.hpp"
+#include "spectral_ref.hpp"
+#include "symmetry/sector_operator.hpp"
+#include "symmetry/sector_vector.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+namespace {
+
+/// Seeded unnormalized Gaussian probe (the builds must handle weight != 1).
+std::vector<cplx> random_probe(std::size_t dim, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g;
+  std::vector<cplx> phi(dim);
+  for (auto& x : phi) x = cplx(g(rng), g(rng));
+  return phi;
+}
+
+/// Integrated |A_cf - A_dense| over a shared grid bracketing the spectrum.
+double cf_vs_dense(const SpectralFunction& sf, const gecos::test::SpectralRef& ref,
+                   double lo, double hi, double eta) {
+  const std::vector<double> grid = gecos::test::linspace(lo, hi, 601);
+  std::vector<double> a(grid.size()), b(grid.size());
+  sf.evaluate(grid, eta, a);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    b[i] = ref.evaluate_at(grid[i], eta);
+  return gecos::test::integrated_abs_dev(a, b, grid[1] - grid[0]);
+}
+
+}  // namespace
+
+int main() {
+  // -- full-space exactness at n = 8 (dim 256), state and operator probes ----
+  {
+    HubbardParams p;  // spinless ring, n = 8
+    p.lx = 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const EigenSystem es = eigh(h.to_matrix());
+    const double lo = es.eigenvalues.front() - 1.0;
+    const double hi = es.eigenvalues.back() + 1.0;
+
+    const std::vector<cplx> phi = random_probe(256, 20260808);
+    SpectralFunctionOptions so;
+    so.max_moments = 256;  // clamped to dim: exact on the invariant subspace
+    SpectralFunction sf(h, so);
+    const std::size_t m = sf.build(phi);
+    CHECK(m >= 2);
+    const double nrm = vec_norm(phi);
+    CHECK_NEAR(sf.weight(), nrm * nrm, 1e-10 * nrm * nrm);
+
+    const auto ref = gecos::test::SpectralRef::build(es, phi);
+    CHECK(cf_vs_dense(sf, ref, lo, hi, 0.1) < 1e-8);
+    // Narrower broadening stresses the interior structure harder.
+    CHECK(cf_vs_dense(sf, ref, lo, hi, 0.02) < 1e-8);
+
+    // Herglotz positivity: the exact continued fraction is a sum of
+    // Lorentzians with nonnegative weights.
+    for (double w = lo; w <= hi; w += 0.05)
+      CHECK(sf.evaluate_at(w, 0.05) > -1e-12);
+
+    // Operator probe B = H: phi_B = H psi through the convenience build.
+    const std::vector<cplx> psi = random_probe(256, 7);
+    SpectralFunction sfb(h, so);
+    sfb.build(h, psi);
+    std::vector<cplx> hphi(256, cplx(0.0));
+    h.apply_add(psi, hphi, cplx(1.0));
+    const auto refb = gecos::test::SpectralRef::build(es, hphi);
+    CHECK(cf_vs_dense(sfb, refb, lo, hi, 0.1) < 1e-8);
+  }
+
+  // -- sector-restricted exactness at n = 10 (N = 5 sector, dim 252) --------
+  {
+    HubbardParams p;  // spinless ring, n = 10
+    p.lx = 10;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const SectorBasis b = hubbard_sector(p, 5);
+    CHECK_EQ(b.dim(), std::size_t{252});
+    const SectorOperator hs(b, h);
+    const EigenSystem es = eigh(gecos::test::dense_of(hs));
+
+    const SectorVector v = SectorVector::random(b, 11);
+    SpectralFunctionOptions so;
+    so.max_moments = 252;
+    SpectralFunction sf(hs, so);
+    sf.build(v.amps());
+    const auto ref = gecos::test::SpectralRef::build(
+        es, std::vector<cplx>(v.amps().begin(), v.amps().end()));
+    CHECK(cf_vs_dense(sf, ref, es.eigenvalues.front() - 1.0,
+                      es.eigenvalues.back() + 1.0, 0.1) < 1e-8);
+  }
+
+  // -- breakdown on an exact eigenvector: one moment, one Lorentzian ---------
+  {
+    HubbardParams p;  // open chain, n = 6 (dim 64)
+    p.lx = 6;
+    p.u = 2.0;
+    const ScbSum h = hubbard_scb(p);
+    const EigenSystem es = eigh(h.to_matrix());
+    std::vector<cplx> gs(64);
+    for (std::size_t i = 0; i < 64; ++i) gs[i] = es.eigenvectors(i, 0);
+
+    SpectralFunctionOptions so;
+    so.breakdown_tol = 1e-8;  // headroom over the eigh residual of gs
+    SpectralFunction sf(h, so);
+    const std::size_t m = sf.build(gs);
+    CHECK_EQ(m, std::size_t{1});  // invariant subspace of dimension 1
+    const double e0 = es.eigenvalues.front();
+    CHECK_NEAR(sf.alpha()[0], e0, 1e-9);
+    // A(E0) of a single pole of unit weight: 1 / (pi * eta).
+    CHECK_NEAR(sf.evaluate_at(e0, 0.05), 1.0 / (M_PI * 0.05), 1e-6);
+  }
+
+  // -- allocation probe: warm rebuild + evaluate allocate nothing ------------
+  {
+    HubbardParams p;
+    p.lx = 6;
+    p.u = 2.0;
+    p.mu = 0.3;
+    const ScbSum h = hubbard_scb(p);
+    const std::vector<cplx> phi = random_probe(64, 3);
+    const std::vector<cplx> psi = random_probe(64, 4);
+    const std::vector<double> grid = gecos::test::linspace(-8.0, 8.0, 201);
+    std::vector<double> out(grid.size());
+
+    SpectralFunction sf(h);
+    sf.build(phi);
+    sf.build(h, psi);  // warm-up sizes the operator-probe scratch too
+    sf.evaluate(grid, 0.1, out);
+    const long before = gecos::test::allocations();
+    sf.build(phi);
+    sf.build(h, psi);
+    sf.evaluate(grid, 0.1, out);
+    const long delta = gecos::test::allocations() - before;
+#if GECOS_ALLOC_PROBE_ACTIVE
+    CHECK_EQ(delta, 0L);
+#endif
+    std::printf("alloc probe: %ld allocations during warm rebuild\n", delta);
+  }
+
+  // -- error paths -----------------------------------------------------------
+  {
+    HubbardParams p;
+    p.lx = 4;
+    const ScbSum h = hubbard_scb(p);
+
+    bool threw = false;
+    try {
+      SpectralFunctionOptions so;
+      so.max_moments = 0;
+      SpectralFunction bad(h, so);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    SpectralFunction sf(h);
+    threw = false;
+    try {
+      sf.greens(cplx(0.0, 0.1));  // no build yet
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    const std::vector<cplx> short_probe(8, cplx(1.0));
+    threw = false;
+    try {
+      sf.build(short_probe);  // wrong dimension
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    const std::vector<cplx> zero_probe(16, cplx(0.0));
+    threw = false;
+    try {
+      sf.build(zero_probe);  // zero probe
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    const std::vector<cplx> ok_probe = random_probe(16, 5);
+    sf.build(ok_probe);
+    threw = false;
+    try {
+      std::vector<double> grid(10), out(9);
+      sf.evaluate(grid, 0.1, out);  // size mismatch
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return gecos::test::finish("test_spectral_function");
+}

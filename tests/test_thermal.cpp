@@ -1,0 +1,196 @@
+// Thermal-pure-state sampler suite, pinned against exact dense
+// thermodynamics (tests/spectral_ref.hpp). Pins (1) <H>_beta and <N>_beta
+// at n = 8 sit within their own reported error bars across a beta sweep,
+// (2) the beta = 0 limit is the exact infinite-temperature trace average,
+// (3) log(Z/D) tracks the dense value, (4) bit-reproducibility under one
+// seed and independence from call order, (5) the sector-restricted sampler
+// against the sector-dense reference, (6) warm calls allocate nothing, and
+// (7) the error paths.
+#include "alloc_probe.hpp"  // first: replaces global operator new
+// clang-format off
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+// clang-format on
+
+#include "fermion/hubbard.hpp"
+#include "fermion/jordan_wigner.hpp"
+#include "linalg/expm.hpp"
+#include "ops/scb_sum.hpp"
+#include "spectral/thermal.hpp"
+#include "spectral_ref.hpp"
+#include "symmetry/sector_operator.hpp"
+#include "test_util.hpp"
+
+using namespace gecos;
+
+int main() {
+  // -- beta sweep at n = 8: estimates inside their own error bars ------------
+  {
+    HubbardParams p;  // spinless ring, n = 8 (dim 256)
+    p.lx = 8;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const ScbSum num = jw_sum(total_number(8), 8);
+    const EigenSystem es = eigh(h.to_matrix());
+    const Matrix h_dense = h.to_matrix();
+    const Matrix n_dense = num.to_matrix();
+
+    ThermalOptions to;
+    to.num_samples = 24;
+    ThermalSampler sampler(h, to);
+    for (double beta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const ThermalResult re = sampler.energy(beta);
+      const double e_ref = gecos::test::thermal_expectation(es, h_dense, beta);
+      CHECK(re.std_error > 0.0);
+      CHECK(std::abs(re.value - e_ref) <= 3.0 * re.std_error);
+
+      const ThermalResult rn = sampler.expectation(num, beta);
+      const double n_ref = gecos::test::thermal_expectation(es, n_dense, beta);
+      CHECK(std::abs(rn.value - n_ref) <= 3.0 * rn.std_error);
+
+      // log(Z/D) from the same weights: a few percent at these sample
+      // counts (it is a plain mean, not a ratio, so bars are not reported).
+      const double lz_ref = gecos::test::log_partition_over_dim(es, beta);
+      CHECK_NEAR(re.log_z_over_dim, lz_ref, 0.35);
+      CHECK(re.matvecs > 0);
+      CHECK_EQ(re.samples, std::size_t{24});
+    }
+  }
+
+  // -- beta = 0: exact infinite-temperature average, unit weights ------------
+  {
+    HubbardParams p;  // open chain, n = 6 (dim 64)
+    p.lx = 6;
+    p.u = 2.0;
+    const ScbSum h = hubbard_scb(p);
+    const ScbSum num = jw_sum(total_number(6), 6);
+    const EigenSystem es = eigh(h.to_matrix());
+
+    ThermalOptions to;
+    to.num_samples = 16;
+    ThermalSampler sampler(h, to);
+    const ThermalResult r = sampler.expectation(num, 0.0);
+    // No projection chunks ran: every weight is exactly 1.
+    CHECK_EQ(r.log_z_over_dim, 0.0);
+    // Tr N / D = modes / 2 = 3 exactly; the estimate fluctuates around it.
+    const double n_ref =
+        gecos::test::thermal_expectation(es, num.to_matrix(), 0.0);
+    CHECK_NEAR(n_ref, 3.0, 1e-10);
+    CHECK(std::abs(r.value - n_ref) <= 3.0 * r.std_error);
+  }
+
+  // -- reproducibility: bit-identical under one seed, call-order free --------
+  {
+    HubbardParams p;
+    p.lx = 6;
+    p.u = 2.0;
+    p.mu = 0.3;
+    const ScbSum h = hubbard_scb(p);
+    const ScbSum num = jw_sum(total_number(6), 6);
+
+    ThermalSampler a(h), b(h);
+    b.energy(4.0);  // unrelated history must not shift b's next estimate
+    const ThermalResult ra = a.expectation(num, 1.5);
+    const ThermalResult rb = b.expectation(num, 1.5);
+    CHECK(ra.value == rb.value);
+    CHECK(ra.std_error == rb.std_error);
+    CHECK(ra.log_z_over_dim == rb.log_z_over_dim);
+
+    ThermalOptions to;
+    to.seed = 99;
+    ThermalSampler c(h, to);
+    CHECK(c.expectation(num, 1.5).value != ra.value);  // seed matters
+  }
+
+  // -- sector-restricted sampler vs the sector-dense reference ---------------
+  {
+    HubbardParams p;  // spinless ring, n = 10; N = 5 sector (dim 252)
+    p.lx = 10;
+    p.u = 2.0;
+    p.mu = 0.3;
+    p.periodic_x = true;
+    const ScbSum h = hubbard_scb(p);
+    const SectorBasis b = hubbard_sector(p, 5);
+    const SectorOperator hs(b, h);
+    const EigenSystem es = eigh(gecos::test::dense_of(hs));
+
+    ThermalOptions to;
+    to.num_samples = 16;
+    ThermalSampler sampler(hs, to);
+    const ThermalResult r = sampler.energy(2.0);
+    const double e_ref = gecos::test::thermal_expectation(
+        es, gecos::test::dense_of(hs), 2.0);
+    CHECK(std::abs(r.value - e_ref) <= 3.0 * r.std_error);
+  }
+
+  // -- allocation probe: warm expectation calls allocate nothing -------------
+  {
+    HubbardParams p;
+    p.lx = 6;
+    p.u = 2.0;
+    const ScbSum h = hubbard_scb(p);
+    ThermalOptions to;
+    to.num_samples = 4;
+    ThermalSampler sampler(h, to);
+    sampler.energy(1.0);  // warm-up: evolver basis and scratch all sized
+    const long before = gecos::test::allocations();
+    sampler.energy(1.0);
+    const long delta = gecos::test::allocations() - before;
+#if GECOS_ALLOC_PROBE_ACTIVE
+    CHECK_EQ(delta, 0L);
+#endif
+    std::printf("alloc probe: %ld allocations during warm thermal call\n",
+                delta);
+  }
+
+  // -- error paths -----------------------------------------------------------
+  {
+    HubbardParams p;
+    p.lx = 4;
+    const ScbSum h = hubbard_scb(p);
+
+    bool threw = false;
+    try {
+      ThermalOptions to;
+      to.num_samples = 1;
+      ThermalSampler bad(h, to);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    threw = false;
+    try {
+      ThermalOptions to;
+      to.dbeta = 0.0;
+      ThermalSampler bad(h, to);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    ThermalSampler sampler(h);
+    threw = false;
+    try {
+      sampler.energy(-1.0);  // negative temperature parameter
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    threw = false;
+    try {
+      const ScbSum small = jw_sum(total_number(2), 2);  // dim 4 != dim 16
+      sampler.expectation(small, 1.0);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return gecos::test::finish("test_thermal");
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage summary from an lcov tracefile (stdlib only).
+
+Reads the SF:/DA: records of an lcov .info file and prints, for each source
+directory (relative to the repo root when possible), the covered/total line
+counts and the percentage, plus a repo-wide total. This is the console
+digest of the CI coverage leg — the full tracefile is uploaded as an
+artifact for anyone who wants line-level detail.
+
+Usage: coverage_summary.py <tracefile.info> [...]
+
+Exit status is 0 whenever the tracefiles parse; coverage is reported, not
+gated (thresholds would just get ratcheted to whatever the suite does
+today — the value is the visible per-directory trend).
+"""
+
+import os
+import sys
+from collections import defaultdict
+
+
+def parse_tracefile(path: str):
+    """Yields (source_file, lines_hit, lines_total) per SF: record."""
+    source = None
+    hit = total = 0
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                source = line[3:]
+                hit = total = 0
+            elif line.startswith("DA:") and source is not None:
+                total += 1
+                # DA:<lineno>,<exec count>[,<checksum>]
+                count = line[3:].split(",")[1]
+                if count not in ("0", "-"):
+                    hit += 1
+            elif line == "end_of_record" and source is not None:
+                yield source, hit, total
+                source = None
+
+
+def relative_dir(source: str, root: str) -> str:
+    """Directory of `source` relative to the repo root when it is inside."""
+    path = os.path.dirname(os.path.abspath(source))
+    if path.startswith(root + os.sep):
+        return os.path.relpath(path, root)
+    return path
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    per_dir = defaultdict(lambda: [0, 0])  # dir -> [hit, total]
+    files = 0
+    for trace in argv[1:]:
+        if not os.path.exists(trace):
+            print(f"coverage_summary: no such tracefile: {trace}",
+                  file=sys.stderr)
+            return 2
+        for source, hit, total in parse_tracefile(trace):
+            entry = per_dir[relative_dir(source, root)]
+            entry[0] += hit
+            entry[1] += total
+            files += 1
+
+    if not per_dir:
+        print("coverage_summary: no SF records found", file=sys.stderr)
+        return 2
+
+    width = max(len(d) for d in per_dir)
+    print(f"{'directory':<{width}}  covered/total   line%")
+    grand_hit = grand_total = 0
+    for d in sorted(per_dir):
+        hit, total = per_dir[d]
+        grand_hit += hit
+        grand_total += total
+        pct = 100.0 * hit / total if total else 0.0
+        print(f"{d:<{width}}  {hit:>7}/{total:<7} {pct:6.1f}%")
+    pct = 100.0 * grand_hit / grand_total if grand_total else 0.0
+    print(f"{'TOTAL':<{width}}  {grand_hit:>7}/{grand_total:<7} {pct:6.1f}%  "
+          f"({files} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
