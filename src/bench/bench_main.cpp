@@ -21,10 +21,11 @@
 // KPM and thermal-sampling estimators against dense eigh references.
 //
 // Usage: bench_main [--quick] [--out PATH] [--threads K] [--repeat K]
-//        [--only SUBSTR]... [--list] [--help]
+//        [--simd TIER] [--only SUBSTR]... [--list] [--help]
 // (see print_help)
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -37,6 +38,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "evolve/trotter.hpp"
@@ -51,6 +53,7 @@
 #include "ops/pauli_ref.hpp"
 #include "ops/scb_sum.hpp"
 #include "ops/term.hpp"
+#include "simd/simd.hpp"
 #include "solver/krylov_evolve.hpp"
 #include "solver/lanczos.hpp"
 #include "spectral/continued_fraction.hpp"
@@ -68,6 +71,12 @@ namespace {
 std::size_t sink = 0;  // defeats dead-code elimination of benchmark bodies
 
 int g_repeat = 5;  // timed runs per entry (--repeat)
+
+// Min-time STREAM-triad bandwidth in GB/s, filled by the stream_triad
+// section (which runs before every entry that reports achieved_gbs).
+// Stays 0 when --only filtered stream_triad out; stream_fraction fields
+// are then 0 too.
+double g_triad_gbs = 0;
 
 /// min + median seconds per call over the repeated timed runs. The median
 /// is the headline number (robust against one-off stalls); the min is the
@@ -116,8 +125,19 @@ std::string json_escape_free_format(double v) {
 bool write_json(const std::string& path, bool quick,
                 const std::vector<BenchResult>& results) {
   std::ofstream out(path);
-  out << "{\n  \"schema\": \"gecos-bench-v2\",\n";
+  out << "{\n  \"schema\": \"gecos-bench-v3\",\n";
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  // Hardware context: numbers in one report are only comparable to another
+  // report from the same (core count, ISA tier) machine. The avx2/avx512
+  // flags record tier *usability* (compiled in AND host CPUID, FMA
+  // included); simd_tier is the tier the run actually dispatched to
+  // (GECOS_SIMD / --simd override included).
+  out << "  \"hw\": {\"nproc\": " << std::thread::hardware_concurrency()
+      << ", \"avx2\": "
+      << (simd_tier_available(SimdTier::avx2) ? "true" : "false")
+      << ", \"avx512\": "
+      << (simd_tier_available(SimdTier::avx512) ? "true" : "false")
+      << ", \"simd_tier\": \"" << simd_tier_name(simd_tier()) << "\"},\n";
   out << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     out << "    {\"name\": \"" << results[i].name << "\"";
@@ -317,7 +337,7 @@ double thermal_energy_ref(const std::vector<double>& eigenvalues,
 void print_help(const char* prog) {
   std::printf(
       "usage: %s [--quick] [--out PATH] [--threads K] [--repeat K]\n"
-      "       [--only SUBSTR]... [--list] [--help]\n"
+      "       [--simd TIER] [--only SUBSTR]... [--list] [--help]\n"
       "\n"
       "Runs the GECOS benchmark suite and writes a JSON report.\n"
       "\n"
@@ -333,6 +353,11 @@ void print_help(const char* prog) {
       "                concurrency)\n"
       "  --repeat K    timed runs per entry (default 5); every timed entry\n"
       "                reports the median and the min across the runs\n"
+      "  --simd TIER   force the SIMD dispatch tier (scalar | avx2 | avx512)\n"
+      "                for every kernel in the run, same spelling as the\n"
+      "                GECOS_SIMD environment variable; forcing a tier this\n"
+      "                host cannot run is an error. Without the flag the\n"
+      "                widest available tier is used (see the hw block)\n"
       "  --only SUBSTR run only the bench entries whose name contains\n"
       "                SUBSTR (repeatable; a filter matching no entry is an\n"
       "                error). Entries run in their full-suite order and\n"
@@ -342,20 +367,29 @@ void print_help(const char* prog) {
       "                clobbered\n"
       "  --list        print the registered bench entry names (one per\n"
       "                line, full-suite order) and exit without running\n"
-      "                anything; combine with --only to preview a filter\n"
+      "                anything; with --only filters it prints exactly the\n"
+      "                entries the same filters would run (a filter preview)\n"
       "  --help        print this message and exit\n"
       "\n"
-      "Output schema \"gecos-bench-v2\":\n"
-      "  {\"schema\": \"gecos-bench-v2\", \"quick\": bool,\n"
+      "Output schema \"gecos-bench-v3\":\n"
+      "  {\"schema\": \"gecos-bench-v3\", \"quick\": bool,\n"
+      "   \"hw\": {\"nproc\", \"avx2\", \"avx512\", \"simd_tier\"},\n"
       "   \"benchmarks\": [{\"name\": str, <numeric fields>}]}\n"
       "Fields ending in seconds_per_op are the MEDIAN over --repeat timed\n"
       "runs; the matching min_* field is the minimum across the same runs\n"
       "(the least-noise sample — compare trajectories on that). *_per_sec\n"
       "are derived from the median; speedup_vs_ref compares against the\n"
-      "retained legacy implementation in the same binary and run. fermion_*\n"
+      "retained legacy implementation in the same binary and run.\n"
+      "stream_triad measures the machine's streaming memory bandwidth; the\n"
+      "achieved_gbs fields of scb_apply / hubbard_quench / sector_quench\n"
+      "divide each entry's modeled memory traffic by its min time, and\n"
+      "stream_fraction is achieved_gbs over the triad roofline (how close\n"
+      "the kernel runs to memory-bound peak). fermion_*\n"
       "entries report scb_terms vs pauli_strings and the build time of each\n"
       "representation; parallel_apply and hubbard_quench report the threaded\n"
-      "statevector/evolution throughput; lanczos_ground_state and\n"
+      "statevector/evolution throughput (hubbard_quench also times the\n"
+      "unfused one-sweep-per-term evolver and reports fused_speedup plus the\n"
+      "fused-vs-unfused trajectory gate); lanczos_ground_state and\n"
       "krylov_quench cover the Krylov solver layer; lanczos_resume gates\n"
       "checkpoint/restore (interrupt mid-solve, resume from the file,\n"
       "require the recovered E0 within 1e-10 of the uninterrupted\n"
@@ -421,6 +455,21 @@ int main(int argc, char** argv) {
       }
       threads_flag = k;
       set_num_threads(k);
+    } else if (std::strcmp(argv[i], "--simd") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "%s: --simd requires a tier argument "
+                     "(scalar | avx2 | avx512)\n",
+                     argv[0]);
+        return 2;
+      }
+      try {
+        set_simd_tier(parse_simd_tier(argv[++i]));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s: --simd %s: %s\n", argv[0], argv[i],
+                     e.what());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--only") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: --only requires a SUBSTR argument\n",
@@ -437,8 +486,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "%s: unknown argument '%s'\nusage: %s [--quick] [--out "
-                   "PATH] [--threads K] [--repeat K] [--only SUBSTR]... "
-                   "[--list] [--help]\n",
+                   "PATH] [--threads K] [--repeat K] [--simd TIER] "
+                   "[--only SUBSTR]... [--list] [--help]\n",
                    argv[0], argv[i], argv[0]);
       return 2;
     }
@@ -446,7 +495,7 @@ int main(int argc, char** argv) {
   // A filtered run writes a PARTIAL report; defaulting it onto the tracked
   // full-suite artifact would silently clobber the perf trajectory, so
   // --only redirects the default output (an explicit --out still wins).
-  if (!only.empty() && !out_given) {
+  if (!only.empty() && !out_given && !list_only) {
     out_path = "BENCH_partial.json";
     std::printf("note: --only without --out writes %s (not the tracked "
                 "full-suite BENCH_pauli.json)\n",
@@ -454,6 +503,12 @@ int main(int argc, char** argv) {
   }
   const double min_s = quick ? 0.05 : 0.25;
   std::vector<BenchResult> results;
+
+  // achieved_gbs / triad roofline ratio; 0 when stream_triad did not run
+  // in this invocation (--only filtered it out).
+  const auto stream_frac = [](double gbs) {
+    return g_triad_gbs > 0.0 ? gbs / g_triad_gbs : 0.0;
+  };
 
   // -- section registry ------------------------------------------------------
   // One named section per JSON entry, in full-suite order. Sections return
@@ -533,6 +588,42 @@ int main(int argc, char** argv) {
     return 0;
   }});
 
+  // -- roofline anchor -------------------------------------------------------
+  // STREAM triad (a[i] = b[i] + s*c[i] over doubles, arrays far beyond the
+  // last-level cache): the streaming-bandwidth ceiling of this machine.
+  // The statevector sweeps below are memory-bound, so their achieved_gbs
+  // (modeled traffic / min time) is meaningful exactly as a fraction of
+  // this number — stream_fraction close to 1 means the kernel is running
+  // at the roofline and further ILP/SIMD work cannot help.
+  sections.push_back({"stream_triad", [&] {
+    const std::size_t len =
+        quick ? (std::size_t{1} << 21) : (std::size_t{1} << 23);
+    std::vector<double> a(len, 1.0), b(len, 2.0), c(len, 0.5);
+    const double s = 3.0;
+    const Timing t = time_per_op(
+        [&] {
+          double* pa = a.data();
+          const double* pb = b.data();
+          const double* pc = c.data();
+          for (std::size_t i = 0; i < len; ++i) pa[i] = pb[i] + s * pc[i];
+          sink += static_cast<std::size_t>(a[len / 2] < 1e9);
+        },
+        min_s);
+    const double bytes = 24.0 * static_cast<double>(len);  // 2 loads, 1 store
+    g_triad_gbs = bytes / t.min / 1e9;
+    std::printf("stream_triad         len=%zu doubles peak=%.2f GB/s "
+                "(median %.2f GB/s)\n",
+                len, g_triad_gbs, bytes / t.median / 1e9);
+    results.push_back({"stream_triad",
+                       {{"doubles_per_array", static_cast<double>(len)},
+                        {"bytes_per_pass", bytes},
+                        {"seconds_per_op", t.median},
+                        {"min_seconds_per_op", t.min},
+                        {"triad_gbs", bytes / t.median / 1e9},
+                        {"peak_triad_gbs", g_triad_gbs}}});
+    return 0;
+  }});
+
   // -- matrix-free statevector apply -----------------------------------------
   sections.push_back({"scb_apply", [&] {
     std::mt19937 rng(kSeed);
@@ -560,16 +651,30 @@ int main(int argc, char** argv) {
         min_s);
     const double amps =
         static_cast<double>(dim) * static_cast<double>(terms.size());
+    // Traffic model: each term's kernel walks its selected states only
+    // (dim >> popcount(select)), reading x (16 B) and read-modify-writing
+    // y (32 B) per covered amplitude. The zero-fill of y before each apply
+    // is part of the timed op, so count its dim stores once.
+    double traffic = 16.0 * static_cast<double>(dim);  // the std::fill
+    for (const ScbTerm& t : terms) {
+      const TermKernel k(t);
+      traffic += 48.0 * static_cast<double>(
+                            dim >> std::popcount(k.select_mask));
+    }
+    const double gbs = traffic / kernel_t.min / 1e9;
     std::printf("scb_apply            n=%zu terms=%zu kernel=%.3fms"
-                " legacy=%.3fms speedup=%.2fx\n",
+                " legacy=%.3fms speedup=%.2fx %.2f GB/s\n",
                 n, terms.size(), kernel_t.median * 1e3, legacy_t.median * 1e3,
-                legacy_t.median / kernel_t.median);
+                legacy_t.median / kernel_t.median, gbs);
     results.push_back({"scb_apply",
                        {{"num_qubits", static_cast<double>(n)},
                         {"terms", static_cast<double>(terms.size())},
                         {"seconds_per_op", kernel_t.median},
                         {"min_seconds_per_op", kernel_t.min},
                         {"term_amplitudes_per_sec", amps / kernel_t.median},
+                        {"traffic_bytes_per_op", traffic},
+                        {"achieved_gbs", gbs},
+                        {"stream_fraction", stream_frac(gbs)},
                         {"ref_seconds_per_op", legacy_t.median},
                         {"ref_min_seconds_per_op", legacy_t.min},
                         {"speedup_vs_ref", legacy_t.median / kernel_t.median}}});
@@ -798,6 +903,11 @@ int main(int argc, char** argv) {
                        {{"num_qubits", static_cast<double>(n)},
                         {"scb_terms", static_cast<double>(h.size())},
                         {"threads", static_cast<double>(k_threads)},
+                        // How the configured worker count relates to the
+                        // machine: speedups plateau at hardware_concurrency.
+                        {"hardware_concurrency",
+                         static_cast<double>(
+                             std::thread::hardware_concurrency())},
                         {"serial_seconds_per_op", serial_t.median},
                         {"serial_min_seconds_per_op", serial_t.min},
                         {"seconds_per_op", par_t.median},
@@ -808,16 +918,39 @@ int main(int argc, char** argv) {
   }});
 
   sections.push_back({"hubbard_quench", [&] {
-    // Hubbard quench: Strang steps from the half-filling CDW state.
+    // Hubbard quench: Strang steps from the half-filling CDW state. The
+    // fused evolver (the default: one phase-table sweep over all commuting
+    // diagonal terms, batched disjoint pair rotations) is timed against the
+    // unfused one-sweep-per-term evolver IN THE SAME RUN, and the two
+    // trajectories are gated against each other first — the fusion passes
+    // only reorder within provably commuting groups, so they must agree to
+    // 1e-12 over a real quench before any speedup is reported.
     set_num_threads(k_threads);
     const HubbardParams hq = quench_lattice(quick);
     const std::size_t n = hubbard_num_modes(hq);
     const std::size_t dim = std::size_t{1} << n;
     const ScbSum h = hubbard_scb(hq);
-    const TrotterEvolver ev(h);
+    const TrotterEvolver ev(h);  // fused schedule (the production default)
+    const TrotterEvolver plain(h, 1e-12, 2, false);  // one sweep per term
+    const double dt = 0.02;
+
+    StateVector ga = StateVector::product(n, hubbard_cdw_occupation(hq));
+    StateVector gb = ga;
+    for (int s = 0; s < 5; ++s) {
+      ev.step(ga, dt, 2);
+      plain.step(gb, dt, 2);
+    }
+    const double fdiff = ga.max_abs_diff(gb);
+    if (fdiff > 1e-12) {
+      std::fprintf(stderr,
+                   "error: hubbard_quench fused-vs-unfused trajectory "
+                   "mismatch (max diff %g over 5 steps, gate 1e-12)\n",
+                   fdiff);
+      return 1;
+    }
+
     StateVector psi = StateVector::product(n, hubbard_cdw_occupation(hq));
     const double e0 = psi.expectation(h).real();
-    const double dt = 0.02;
     const Timing step_t = time_per_op(
         [&] {
           ev.step(psi, dt, 2);
@@ -825,20 +958,40 @@ int main(int argc, char** argv) {
         },
         min_s);
     const double drift = std::abs(psi.expectation(h).real() - e0);
+    StateVector psi2 = StateVector::product(n, hubbard_cdw_occupation(hq));
+    const Timing plain_t = time_per_op(
+        [&] {
+          plain.step(psi2, dt, 2);
+          sink += static_cast<std::size_t>(psi2[0].real() < 2);
+        },
+        min_s);
+    const double fused_speedup = plain_t.min / step_t.min;
     const double step_amps =
         2.0 * static_cast<double>(ev.num_terms()) * static_cast<double>(dim);
-    std::printf("hubbard_quench       n=%zu exp_terms=%zu step=%.3fms"
-                " (%.2f steps/s, %.1f Mamp/s) drift=%.2e\n",
-                n, ev.num_terms(), step_t.median * 1e3, 1.0 / step_t.median,
-                step_amps / step_t.median / 1e6, drift);
+    const double traffic = ev.step_traffic_bytes(2);
+    const double gbs = traffic / step_t.min / 1e9;
+    std::printf("hubbard_quench       n=%zu exp_terms=%zu groups=%zu "
+                "step=%.3fms unfused=%.3fms fused_speedup=%.2fx "
+                "(%.2f steps/s, %.2f GB/s) fused_diff=%.1e drift=%.2e\n",
+                n, ev.num_terms(), ev.num_groups(), step_t.median * 1e3,
+                plain_t.median * 1e3, fused_speedup, 1.0 / step_t.median,
+                gbs, fdiff, drift);
     results.push_back({"hubbard_quench",
                        {{"num_qubits", static_cast<double>(n)},
                         {"exp_terms", static_cast<double>(ev.num_terms())},
+                        {"fused_groups", static_cast<double>(ev.num_groups())},
                         {"threads", static_cast<double>(k_threads)},
                         {"seconds_per_step", step_t.median},
                         {"min_seconds_per_step", step_t.min},
                         {"steps_per_sec", 1.0 / step_t.median},
                         {"term_amplitudes_per_sec", step_amps / step_t.median},
+                        {"unfused_seconds_per_step", plain_t.median},
+                        {"unfused_min_seconds_per_step", plain_t.min},
+                        {"fused_speedup", fused_speedup},
+                        {"fused_vs_unfused_max_diff", fdiff},
+                        {"step_traffic_bytes", traffic},
+                        {"achieved_gbs", gbs},
+                        {"stream_fraction", stream_frac(gbs)},
                         {"energy_drift", drift}}});
     return 0;
   }});
@@ -1179,10 +1332,28 @@ int main(int argc, char** argv) {
                    xdiff, xsteps);
       return 1;
     }
+    // Per-matvec traffic model of the sector apply: the fused diagonal
+    // pass streams x and read-modify-writes y (48 B/amplitude, one pass for
+    // all diagonal terms); each hop kernel reads x, its u32 target-table
+    // entry and read-modify-writes y (52 B/amplitude with tables, 48
+    // without). Krylov orthogonalization traffic is not modeled, so
+    // achieved_gbs is a lower bound on the true bandwidth. Sector vectors
+    // are small enough to live in cache (~1 MB at n = 20), so
+    // stream_fraction here can legitimately EXCEED 1: cache bandwidth
+    // beats the DRAM triad roofline.
+    const double sdim = static_cast<double>(basis.dim());
+    const double matvec_bytes =
+        (hs.has_fused_diagonal() ? 48.0 * sdim : 0.0) +
+        (hs.has_hop_tables() ? 52.0 : 48.0) * sdim *
+            static_cast<double>(hs.num_hop_kernels());
+    const double step_bytes =
+        matvec_bytes * static_cast<double>(s_matvecs);
+    const double gbs = step_bytes / s_t.min / 1e9;
     std::printf("sector_quench        n=%zu sector_dim=%zu step=%.3fms "
-                "(full %.3fms, %.2fx) matvecs/step=%zu vs_full=%.2e\n",
+                "(full %.3fms, %.2fx) matvecs/step=%zu vs_full=%.2e "
+                "%.2f GB/s\n",
                 n, basis.dim(), s_t.median * 1e3, f_t.median * 1e3,
-                f_t.median / s_t.median, s_matvecs, xdiff);
+                f_t.median / s_t.median, s_matvecs, xdiff, gbs);
     results.push_back(
         {"sector_quench",
          {{"num_qubits", static_cast<double>(n)},
@@ -1192,6 +1363,9 @@ int main(int argc, char** argv) {
           {"seconds_per_step", s_t.median},
           {"min_seconds_per_step", s_t.min},
           {"matvecs_per_step", static_cast<double>(s_matvecs)},
+          {"step_traffic_bytes", step_bytes},
+          {"achieved_gbs", gbs},
+          {"stream_fraction", stream_frac(gbs)},
           {"full_seconds_per_step", f_t.median},
           {"full_min_seconds_per_step", f_t.min},
           {"sector_speedup_vs_full", f_t.median / s_t.median},
@@ -1385,15 +1559,11 @@ int main(int argc, char** argv) {
     return 0;
   }});
 
-  // -- --list: print the registry and exit -----------------------------------
-  if (list_only) {
-    for (const Section& s : sections) std::printf("%s\n", s.name);
-    return 0;
-  }
-
-  // -- filter validation + run -----------------------------------------------
-  // One match predicate for both the validation loop and the run loop, so
-  // a filter the validator accepts always selects the same subset.
+  // -- filter validation + list / run ----------------------------------------
+  // One match predicate for the validation loop, the --list preview and the
+  // run loop, so a filter the validator accepts always selects the same
+  // subset — and --list shows exactly what a run with the same --only
+  // filters would execute.
   const auto matches = [](const char* name, const std::string& filter) {
     return std::string_view(name).find(filter) != std::string_view::npos;
   };
@@ -1414,6 +1584,11 @@ int main(int argc, char** argv) {
       if (matches(name, f)) return true;
     return false;
   };
+  if (list_only) {
+    for (const Section& s : sections)
+      if (selected(s.name)) std::printf("%s\n", s.name);
+    return 0;
+  }
   for (const Section& s : sections) {
     if (!selected(s.name)) continue;
     const int rc = s.run();

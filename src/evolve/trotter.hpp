@@ -10,9 +10,27 @@
 // product-formula steps over ScbSum::hermitian_terms(). Each step is a
 // sequence of in-place parallel sweeps with zero per-step allocation. See
 // DESIGN.md "Exact SCB-term exponentials" for the derivation.
+//
+// Fusion passes: a product-formula sweep is memory-bound — every term
+// exponential traverses the statevector once — so TrotterEvolver schedules
+// the term sequence into fused GROUPS at construction (only reordering
+// across terms whose Hermitian parts symbolically commute, which leaves the
+// operator product exactly unchanged):
+//
+//   * diagonal groups — all commuting diagonal exponentials collapse into
+//     ONE precomputed phase table e^{-i dt A[s]} (the angle table sums the
+//     members' +-d0 contributions; the phase table is cached per dt and
+//     rebuilt allocation-free when dt changes) applied in a single sweep;
+//   * rotation batches — pair rotations whose flips stay out of each
+//     other's flip/select support are applied cell-by-cell (cells = orbits
+//     of the combined flip masks, so cells never share amplitudes across
+//     parallel chunks) in one traversal instead of one sweep per term.
+//
+// See DESIGN.md "SIMD kernels & runtime dispatch" for the legality rules.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -40,6 +58,18 @@ class TermExp {
   /// pair is owned by exactly one chunk, so the sweep is race-free.
   void apply(double t, std::span<cplx> x) const;
 
+  /// Compiled mask kernel of the bare product (coeff folded into base) —
+  /// the structural data the fusion scheduler groups on.
+  const TermKernel& kernel() const { return kernel_; }
+  /// True when the term is diagonal (pure phase on selected states).
+  bool diagonal() const { return diagonal_; }
+  /// True when the h.c. partner state s ^ flip is itself selected.
+  bool pair_in_sel() const { return pair_in_sel_; }
+  /// Diagonal phase angle per sign (0 for off-diagonal terms).
+  double d0() const { return d0_; }
+  /// Off-diagonal pair coupling h(s) = sgn(s) * h0 (0 for diagonal terms).
+  cplx h0() const { return h0_; }
+
  private:
   TermKernel kernel_;  // bare-product masks and base amplitude (coeff folded)
   bool add_hc_ = false;
@@ -56,11 +86,23 @@ class TrotterEvolver : public Evolver {
   /// Gathers h.hermitian_terms(tol) (throws if the sum is not Hermitian)
   /// and compiles one TermExp per term. `order` (1 or 2) is the
   /// product-formula order used by the two-argument Evolver entry points.
-  explicit TrotterEvolver(const ScbSum& h, double tol = 1e-12, int order = 2);
+  /// `fuse` enables the construction-time fusion scheduler (see the file
+  /// comment); fuse = false keeps one sweep per term in input order — the
+  /// reference the fused path is benchmarked and tested against.
+  explicit TrotterEvolver(const ScbSum& h, double tol = 1e-12, int order = 2,
+                          bool fuse = true);
 
   /// Qubit count and number of compiled term exponentials.
   std::size_t n_qubits() const override { return n_; }
   std::size_t num_terms() const { return exps_.size(); }
+  /// Scheduled fused groups per sweep (== num_terms() when fuse = false).
+  std::size_t num_groups() const { return groups_.size(); }
+  /// Whether the fusion scheduler was enabled at construction.
+  bool fused() const { return fuse_; }
+  /// Estimated bytes of statevector traffic per step at the given order
+  /// (reads + writes of amplitudes and phase tables; the bench roofline
+  /// model divides this by measured step time).
+  double step_traffic_bytes(int order) const;
 
   /// Evolver step at the configured default order.
   void step(std::span<cplx> x, double dt) const override {
@@ -84,9 +126,53 @@ class TrotterEvolver : public Evolver {
   void evolve(StateVector& x, double t, int steps, int order) const;
 
  private:
+  // One fused diagonal group: angle[s] sums the members' signed d0
+  // contributions over the full dimension; phase caches e^{-i dt angle[s]}
+  // for the last dt (both sized at construction, so steps never allocate —
+  // a dt change refills in place). cached_dt guards the cache; phases are
+  // mutable because caching does not change the evolver's value.
+  struct FusedDiagonal {
+    std::vector<double> angle;
+    mutable std::vector<cplx> phase;
+    mutable double cached_dt = 0.0;
+    mutable bool phase_valid = false;
+  };
+  // One scheduled group of the term sequence (kind single = plain
+  // TermExp::apply; diagonal = one phase-table sweep over diagonals_[
+  // diag_index]; batch = disjoint-support rotations applied cell-by-cell).
+  struct Group {
+    enum class Kind { single, diagonal, batch };
+    Kind kind = Kind::single;
+    std::vector<std::size_t> members;  // indices into exps_, apply order
+    std::uint64_t flip_union = 0;      // batch: union of member flips
+    int diag_index = -1;               // diagonal: index into diagonals_
+  };
+
+  /// Builds groups_ (and diagonals_) from the compiled exponentials; the
+  /// `terms` are the Hermitian terms the exponentials came from, used for
+  /// the symbolic commutation tests that make reordering legal.
+  void build_schedule(const std::vector<ScbTerm>& terms);
+  /// Applies one scheduled group (members reversed when reverse, for the
+  /// Strang back-sweep).
+  void apply_group(const Group& g, double dt, std::span<cplx> x,
+                   bool reverse) const;
+  /// One phase-table sweep of a fused diagonal group (rebuilds the cached
+  /// phases in place when dt differs from the cached one).
+  void apply_fused_diagonal(const FusedDiagonal& fd, double dt,
+                            std::span<cplx> x) const;
+  /// One cell-parallel traversal applying every rotation of a batch group.
+  void apply_batch(const Group& g, double dt, std::span<cplx> x,
+                   bool reverse) const;
+
   std::size_t n_ = 0;
   int order_ = 2;
+  bool fuse_ = true;
   std::vector<TermExp> exps_;
+  std::vector<Group> groups_;
+  std::vector<FusedDiagonal> diagonals_;
+  // Guards the lazy per-dt phase-table rebuild so concurrent const steps
+  // (same contract as ScbSum's kernel cache) stay safe.
+  mutable std::mutex phase_mutex_;
 };
 
 }  // namespace gecos

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "simd/kernels.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -14,11 +15,15 @@ double vec_norm(std::span<const cplx> v) {
   // Parallel reduction: per-chunk stack partials (chunk ids are bounded by
   // kMaxParallelChunks) combined in chunk order, so the result is
   // deterministic for a fixed thread count and the call allocation-free.
+  // Each chunk runs the dispatched wide kernel on its contiguous range and
+  // collapses the 8 accumulator lanes with the shared combine tree, so the
+  // value is also identical across dispatch tiers.
+  const simd::Kernels& kn = simd::active();
   std::array<double, kMaxParallelChunks> partial{};
   parallel_for(v.size(), [&](std::size_t b, std::size_t e, int chunk) {
-    double s = 0;
-    for (std::size_t i = b; i < e; ++i) s += std::norm(v[i]);
-    partial[static_cast<std::size_t>(chunk)] = s;
+    double lanes[8];
+    kn.norm2_lanes(v.data() + b, e - b, lanes);
+    partial[static_cast<std::size_t>(chunk)] = simd::combine8(lanes);
   });
   double s = 0;
   for (double p : partial) s += p;
@@ -34,11 +39,12 @@ double vec_norm(std::span<const cplx> v) {
 
 cplx vec_dot(std::span<const cplx> a, std::span<const cplx> b) {
   assert(a.size() == b.size());
+  const simd::Kernels& kn = simd::active();
   std::array<cplx, kMaxParallelChunks> partial{};
   parallel_for(a.size(), [&](std::size_t b0, std::size_t e, int chunk) {
-    cplx s = 0;
-    for (std::size_t i = b0; i < e; ++i) s += std::conj(a[i]) * b[i];
-    partial[static_cast<std::size_t>(chunk)] = s;
+    double lanes[8];
+    kn.dot_lanes(a.data() + b0, b.data() + b0, e - b0, lanes);
+    partial[static_cast<std::size_t>(chunk)] = simd::combine_dot(lanes);
   });
   cplx s = 0;
   for (const cplx& p : partial) s += p;
@@ -61,22 +67,25 @@ double vec_max_abs_diff(std::span<const cplx> a, std::span<const cplx> b) {
 }
 
 void vec_scale(std::span<cplx> v, cplx s) {
+  const simd::Kernels& kn = simd::active();
   parallel_for(v.size(), [&](std::size_t b, std::size_t e, int) {
-    for (std::size_t i = b; i < e; ++i) v[i] *= s;
+    kn.scale(v.data() + b, e - b, s);
   });
 }
 
 void vec_axpy(std::span<cplx> y, cplx s, std::span<const cplx> x) {
   assert(y.size() == x.size());
+  const simd::Kernels& kn = simd::active();
   parallel_for(y.size(), [&](std::size_t b, std::size_t e, int) {
-    for (std::size_t i = b; i < e; ++i) y[i] += s * x[i];
+    kn.axpy(y.data() + b, x.data() + b, e - b, s);
   });
 }
 
 void vec_axpby(std::span<cplx> y, cplx a, std::span<const cplx> x, cplx b) {
   assert(y.size() == x.size());
+  const simd::Kernels& kn = simd::active();
   parallel_for(y.size(), [&](std::size_t b0, std::size_t e, int) {
-    for (std::size_t i = b0; i < e; ++i) y[i] = a * x[i] + b * y[i];
+    kn.axpby(y.data() + b0, x.data() + b0, e - b0, a, b);
   });
 }
 

@@ -1,15 +1,25 @@
 #include "ops/term.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "simd/kernels.hpp"
 #include "util/bits.hpp"
 #include "util/parallel.hpp"
 
 namespace gecos {
+
+namespace {
+
+/// Runs shorter than 2^3 complex amplitudes are not worth the wide-kernel
+/// call; the scalar walk handles them.
+constexpr int kMinRunBits = 3;
+
+}  // namespace
 
 ScbTerm::ScbTerm(cplx coeff, std::vector<Scb> ops, bool add_hc)
     : coeff_(coeff), ops_(std::move(ops)), add_hc_(add_hc) {
@@ -192,6 +202,36 @@ void TermKernel::apply_add(std::span<const cplx> x, std::span<cplx> y,
   const std::uint64_t free_mask = (x.size() - 1) & ~select_mask;
   if ((select_val & ~(x.size() - 1)) != 0) return;  // selection out of range
   const cplx b = base * scale;
+
+  // Contiguous-run split: low free bits outside sign_mask and flip index
+  // runs of 2^r adjacent states with constant sign, constant amplitude and
+  // adjacent targets (s ^ flip preserves the run bits), so each run is one
+  // wide axpy y[s^flip ..] += amp * x[s ..]. The outer walk enumerates the
+  // remaining free bits exactly like the scalar path; race-freedom is
+  // unchanged (s -> s ^ flip is still a bijection, runs partition states).
+  const std::uint64_t run_mask =
+      trailing_run_mask(free_mask & ~sign_mask & ~flip);
+  const int run_bits = std::popcount(run_mask);
+  if (run_bits >= kMinRunBits) {
+    const std::size_t run = std::size_t{1} << run_bits;
+    const std::uint64_t outer_mask = free_mask & ~run_mask;
+    const std::size_t count = std::size_t{1} << std::popcount(outer_mask);
+    const simd::Kernels& kn = simd::active();
+    parallel_for(
+        count,
+        [&](std::size_t i0, std::size_t i1, int) {
+          std::uint64_t sub = scatter_bits(i0, outer_mask);
+          for (std::size_t i = i0; i < i1; ++i) {
+            const std::uint64_t s = sub | select_val;
+            const cplx amp = (std::popcount(sign_mask & s) & 1) ? -b : b;
+            kn.axpy(y.data() + (s ^ flip), x.data() + s, run, amp);
+            sub = (sub - outer_mask) & outer_mask;
+          }
+        },
+        std::max<std::size_t>(1, kParallelGrain >> run_bits));
+    return;
+  }
+
   const std::size_t count = std::size_t{1}
                             << std::popcount(free_mask);
   parallel_for(count, [&](std::size_t i0, std::size_t i1, int) {

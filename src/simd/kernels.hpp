@@ -1,0 +1,110 @@
+// Dispatch table of the wide range kernels (internal to the library).
+//
+// One Kernels struct of function pointers per tier, defined in the per-tier
+// translation units (kernels_scalar.cpp / kernels_avx2.cpp /
+// kernels_avx512.cpp — the latter two compiled with their ISA flags and
+// registered as unavailable when the toolchain or target cannot build
+// them). Hot-path callers snapshot active() once per operation and invoke
+// the pointers on contiguous (pointer, length) ranges from inside their
+// parallel_for chunk bodies; the dispatch itself is one relaxed atomic load.
+//
+// All kernels are tail-safe (any length, any alignment) and produce
+// bitwise-identical results across tiers — see src/simd/simd.hpp for the
+// lane-accumulator and FMA-formula contract that guarantees it.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace gecos::simd {
+
+/// The library-wide scalar type (same alias as linalg/blas1.hpp).
+using cplx = std::complex<double>;
+
+/// Sentinel in a hop-target table: no output for this rank (input not
+/// selected by the kernel's mask).
+inline constexpr std::uint32_t kHopSkip = 0xFFFFFFFFu;
+/// Hop-target sign flag: the amplitude picks up a factor -1.
+inline constexpr std::uint32_t kHopSignBit = 0x80000000u;
+/// Hop-target rank mask (low 31 bits of a table entry).
+inline constexpr std::uint32_t kHopRankMask = 0x7FFFFFFFu;
+
+/// Function-pointer table of one dispatch tier. All lengths are in complex
+/// elements; distinct pointer arguments must not alias.
+struct Kernels {
+  /// Fills lanes[0..7] with the partial sums of |v_i|^2 doubles, lane j
+  /// holding the doubles at flat positions == j mod 8 (see simd.hpp).
+  /// Combine with combine8().
+  void (*norm2_lanes)(const cplx* v, std::size_t n, double* lanes) = nullptr;
+  /// Fills lanes[0..7] with partial sums of conj(a_i) * b_i: lanes 2j /
+  /// 2j+1 hold the real / imaginary sums of the complex accumulator lane j
+  /// (products at positions == j mod 4). Combine with combine_dot().
+  void (*dot_lanes)(const cplx* a, const cplx* b, std::size_t n,
+                    double* lanes) = nullptr;
+  /// v_i *= s.
+  void (*scale)(cplx* v, std::size_t n, cplx s) = nullptr;
+  /// y_i += s * x_i.
+  void (*axpy)(cplx* y, const cplx* x, std::size_t n, cplx s) = nullptr;
+  /// y_i = a * x_i + b * y_i (the fused Chebyshev update).
+  void (*axpby)(cplx* y, const cplx* x, std::size_t n, cplx a,
+                cplx b) = nullptr;
+  /// y_i += s * d_i * x_i (SectorOperator fused-diagonal pass).
+  void (*diag_mul_add)(cplx* y, const cplx* d, const cplx* x, std::size_t n,
+                       cplx s) = nullptr;
+  /// x_i *= p_i (fused Trotter diagonal: precomputed phase table sweep).
+  void (*phase_mul)(cplx* x, const cplx* p, std::size_t n) = nullptr;
+  /// Two-stream pair rotation (c real): a_i' = c a_i + v b_i and
+  /// b_i' = u a_i + c b_i — the exact TermExp 2x2 exponential block.
+  void (*pair_rot)(cplx* a, cplx* b, std::size_t n, double c, cplx u,
+                   cplx v) = nullptr;
+  /// Sector hop through a precomputed target table: for each i with
+  /// tgt_i != kHopSkip, y[tgt_i & kHopRankMask] += (+-base) * x_i, the sign
+  /// taken from kHopSignBit. The targets must be a permutation of their
+  /// subset (race-freedom is the caller's output-partitioning obligation).
+  void (*hop_scatter)(cplx* y, const cplx* x, const std::uint32_t* tgt,
+                      std::size_t n, cplx base) = nullptr;
+};
+
+/// One tier's table plus whether this binary compiled it (a tier can be
+/// present-but-unavailable on non-x86 builds or pre-AVX toolchains).
+struct TierImpl {
+  /// The tier's kernel table (all-null when not compiled).
+  Kernels kernels;
+  /// True when the translation unit actually built the wide code.
+  bool compiled = false;
+};
+
+/// Per-tier tables, defined in the tier translation units. Constant-
+/// initialized (function addresses only), so reading .compiled never
+/// executes tier code on an unsupporting host.
+extern const TierImpl kScalarImpl;
+/// AVX2 + FMA3 tier table (see kScalarImpl).
+extern const TierImpl kAvx2Impl;
+/// AVX-512 F/DQ/VL/BW tier table (see kScalarImpl).
+extern const TierImpl kAvx512Impl;
+
+/// Table of a specific tier (compiled or not — check .compiled).
+const TierImpl& impl_for(SimdTier t);
+
+/// Kernel table of the currently active tier (one atomic load).
+const Kernels& active();
+
+/// Combines the 8 reduction lanes of norm2_lanes with the shared fixed
+/// tree — every caller must use this (and only this) combine so results
+/// stay bitwise-identical across tiers.
+inline double combine8(const double* lanes) {
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+/// Combines the 4 complex accumulator lanes of dot_lanes (same contract as
+/// combine8).
+inline cplx combine_dot(const double* lanes) {
+  return cplx((lanes[0] + lanes[2]) + (lanes[4] + lanes[6]),
+              (lanes[1] + lanes[3]) + (lanes[5] + lanes[7]));
+}
+
+}  // namespace gecos::simd

@@ -7,11 +7,17 @@
 #include <vector>
 
 #include "ops/term.hpp"
+#include "simd/kernels.hpp"
 #include "util/parallel.hpp"
 
 namespace gecos {
 
 namespace {
+
+/// Upper bound on the total hop-target table size (bytes). Sectors beyond
+/// it fall back to the on-the-fly rank() path — correctness is identical,
+/// only the matvec constant differs.
+constexpr std::size_t kHopTableBudget = std::size_t{256} << 20;
 
 /// Rewrites one SCB word into the transition-canonical family: every X/Y
 /// factor branches into {s, s+} (X = s + s+, Y = i s+ - i s), all other
@@ -130,6 +136,36 @@ void SectorOperator::compile(const ScbSum& h) {
       });
     }
   }
+
+  // Hop-target tables: fold the selection test, the Jordan-Wigner sign and
+  // the rank(cfg ^ flip) lookup of every hop kernel into one uint32 per
+  // (kernel, rank), so apply_add streams through the table instead of
+  // re-deriving them per matvec. Rank and sign share 32 bits, so the table
+  // needs d small enough that rank | sign-bit cannot collide with the skip
+  // sentinel; larger sectors (or tables past the memory budget) keep the
+  // on-the-fly path.
+  if (!kernels_.empty() && d < std::size_t{0x7FFFFFFF} &&
+      kernels_.size() * d * sizeof(std::uint32_t) <= kHopTableBudget) {
+    hop_targets_.resize(kernels_.size() * d);
+    for (std::size_t j = 0; j < kernels_.size(); ++j) {
+      const SectorKernel& k = kernels_[j];
+      std::uint32_t* tgt = hop_targets_.data() + j * d;
+      parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::uint64_t cfg = configs_[r];
+          if ((cfg & k.select_mask) != k.select_val) {
+            tgt[r] = simd::kHopSkip;
+            continue;
+          }
+          std::uint32_t t =
+              static_cast<std::uint32_t>(basis_.rank(cfg ^ k.flip));
+          if ((std::popcount(cfg & k.sign_mask) & 1) != 0)
+            t |= simd::kHopSignBit;
+          tgt[r] = t;
+        }
+      });
+    }
+  }
 }
 
 void SectorOperator::apply_add(std::span<const cplx> x, std::span<cplx> y,
@@ -138,17 +174,30 @@ void SectorOperator::apply_add(std::span<const cplx> x, std::span<cplx> y,
          "SectorOperator::apply_add: x and y must not alias");
   assert(x.size() == basis_.dim() && y.size() == basis_.dim());
   const std::size_t d = basis_.dim();
-  // Fused diagonal first (rank-preserving: each chunk owns its y range).
+  const simd::Kernels& kn = simd::active();
+  // Fused diagonal first (rank-preserving: each chunk owns its y range),
+  // one wide elementwise pass through the dispatch layer.
   if (!diag_.empty()) {
     parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
-      for (std::size_t r = lo; r < hi; ++r) y[r] += scale * diag_[r] * x[r];
+      kn.diag_mul_add(y.data() + lo, diag_.data() + lo, x.data() + lo,
+                      hi - lo, scale);
     });
   }
   // Hop kernels, term order: x -> x ^ flip is a bijection on configurations
   // and stays inside the sector (conservation), so the scattered writes of
-  // distinct input chunks never collide.
-  for (const SectorKernel& k : kernels_) {
+  // distinct input chunks never collide. With precomputed target tables the
+  // sweep is a pure gather/scatter (hop_scatter); without them it re-derives
+  // selection, sign and rank per state.
+  for (std::size_t j = 0; j < kernels_.size(); ++j) {
+    const SectorKernel& k = kernels_[j];
     const cplx base = k.base * scale;
+    if (!hop_targets_.empty()) {
+      const std::uint32_t* tgt = hop_targets_.data() + j * d;
+      parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
+        kn.hop_scatter(y.data(), x.data() + lo, tgt + lo, hi - lo, base);
+      });
+      continue;
+    }
     parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
       for (std::size_t r = lo; r < hi; ++r) {
         const std::uint64_t cfg = configs_[r];

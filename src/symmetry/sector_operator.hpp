@@ -71,6 +71,15 @@ class SectorOperator : public LinearOperator {
   /// at construction and canceling branches merge away, so this can differ
   /// from the input term count).
   std::size_t num_kernels() const { return kernels_.size() + num_diagonal_; }
+  /// Hop (off-diagonal) kernels only — the per-apply sweeps after the fused
+  /// diagonal pass (used by the bench traffic model).
+  std::size_t num_hop_kernels() const { return kernels_.size(); }
+  /// True when a fused precomputed diagonal pass runs per apply.
+  bool has_fused_diagonal() const { return !diag_.empty(); }
+  /// True when the hop kernels run off precomputed rank-target tables
+  /// (rank, sign and selection folded into one uint32 per state — see the
+  /// compile() notes) instead of on-the-fly rank() lookups.
+  bool has_hop_tables() const { return !hop_targets_.empty(); }
 
   /// Two-argument accumulate and overwriting apply from the base class.
   using LinearOperator::apply_add;
@@ -102,6 +111,12 @@ class SectorOperator : public LinearOperator {
   std::size_t num_diagonal_ = 0;             // words fused into diag_
   std::vector<std::uint64_t> configs_;       // rank -> configuration table
   std::vector<cplx> diag_;                   // fused diagonal (empty if none)
+  // Per-hop-kernel target tables (kernels_.size() * dim entries): entry r
+  // packs rank(cfg ^ flip), the (-1)^{pc(sign & cfg)} sign bit and the
+  // selection test into one uint32 (simd::kHopSkip when unselected), so the
+  // apply loop is a pure streaming gather/scatter with no rank() walk.
+  // Empty when the sector is too large for the table budget.
+  std::vector<std::uint32_t> hop_targets_;
 };
 
 }  // namespace gecos

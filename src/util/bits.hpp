@@ -58,6 +58,17 @@ inline std::uint64_t gather_bits(std::uint64_t x, std::uint64_t mask) {
 #endif
 }
 
+/// Trailing contiguous low bits of `mask` starting at bit 0 (the largest m
+/// with m = 2^k - 1 and m & mask == m): the positions where a selected-state
+/// walk advances through adjacent memory, i.e. the contiguous-run split the
+/// SIMD kernel callers hand to wide (pointer, length) kernels.
+inline std::uint64_t trailing_run_mask(std::uint64_t mask) {
+  // mask | (mask+1) sets bit k (the first zero); the bits below it are the
+  // run. ~mask & (mask + 1) isolates that first zero bit.
+  const std::uint64_t first_zero = ~mask & (mask + 1);
+  return first_zero - 1;
+}
+
 /// Next-larger word with the same popcount (Gosper's hack): the successor of
 /// a fixed-Hamming-weight walk in ascending numeric order. Precondition:
 /// x != 0 (the weight-0 walk has a single element and no successor). The

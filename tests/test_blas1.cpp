@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "linalg/blas1.hpp"
+#include "simd/simd.hpp"
 #include "test_util.hpp"
 #include "util/error.hpp"
 
@@ -105,6 +106,36 @@ int main() {
     const double n1 = vec_norm(a);
     const double n2 = vec_norm(a);
     CHECK(n1 == n2);
+  }
+
+  // Forced-tier sweep: the dispatched kernels give BITWISE-identical
+  // reductions and updates under every SIMD tier available on this host
+  // (same run splits, bitwise-equal kernels — see src/simd/simd.hpp).
+  {
+    const SimdTier initial = simd_tier();
+    const std::size_t n = (std::size_t{1} << 12) + 5;
+    const std::vector<cplx> a = random_vec(n, rng);
+    const std::vector<cplx> b = random_vec(n, rng);
+    const cplx s(0.3, 0.9), t(0.5, -0.25);
+    set_simd_tier(SimdTier::scalar);
+    const double nrm = vec_norm(a);
+    const cplx dot = vec_dot(a, b);
+    std::vector<cplx> yref = b;
+    vec_axpy(yref, s, a);
+    vec_axpby(yref, s, a, t);
+    vec_scale(yref, s);
+    for (SimdTier tier : {SimdTier::avx2, SimdTier::avx512}) {
+      if (!simd_tier_available(tier)) continue;
+      set_simd_tier(tier);
+      CHECK(vec_norm(a) == nrm);
+      CHECK(vec_dot(a, b) == dot);
+      std::vector<cplx> y = b;
+      vec_axpy(y, s, a);
+      vec_axpby(y, s, a, t);
+      vec_scale(y, s);
+      CHECK_NEAR(vec_max_abs_diff(y, yref), 0.0, 0.0);
+    }
+    set_simd_tier(initial);
   }
 
   // Numerical-health guards: a NaN or Inf anywhere in a reduction input

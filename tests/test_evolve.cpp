@@ -15,6 +15,7 @@
 #include "fermion/hubbard.hpp"
 #include "linalg/expm.hpp"
 #include "ops/scb_sum.hpp"
+#include "simd/simd.hpp"
 #include "solver/krylov_evolve.hpp"
 #include "state/state_vector.hpp"
 #include "test_util.hpp"
@@ -136,7 +137,11 @@ int main() {
   // the modified-Hamiltonian picture of symmetric integrators: it
   // oscillates at O(dt^2) with no secular drift — at a physically large
   // dt = 0.05 it stays bounded, and at dt = 2e-5 the O(dt^2) envelope sits
-  // below the 1e-10 drift pin.
+  // below the 1e-10 drift pin. The dt = 0.05 bound is calibrated to the
+  // evolver's diagonal-major splitting order (all commuting diagonal terms
+  // as one block — see trotter.cpp), whose oscillation constant on this
+  // chain is ~6e-3; the pin guards against secular growth, not the
+  // splitting-dependent prefactor.
   {
     StateVector x(6);
     x = StateVector::product(6, hubbard_cdw_occupation(p));
@@ -146,7 +151,7 @@ int main() {
     CHECK_NEAR(n0 - cplx(3.0), 0.0, 1e-12);  // CDW on 6 sites: 3 particles
     for (int s = 0; s < 200; ++s) ev.step(x, 0.05, 2);
     CHECK_NEAR(x.norm(), 1.0, 1e-12);
-    CHECK_NEAR((x.expectation(h) - e0).real(), 0.0, 1e-3);  // bounded
+    CHECK_NEAR((x.expectation(h) - e0).real(), 0.0, 1e-2);  // bounded
     CHECK_NEAR(std::abs(x.expectation(h).imag()), 0.0, 1e-10);
     CHECK_NEAR((x.expectation(nop) - n0).real(), 0.0, 1e-10);  // exact
   }
@@ -203,6 +208,55 @@ int main() {
       CHECK(threw);
     }
     CHECK(vec_max_abs_diff(results[0], results[1]) < 2e-5);
+  }
+
+  // Fusion schedule: the fused evolver collapses the term sequence into
+  // fewer groups, reproduces the unfused (one-sweep-per-term, same
+  // canonical order) trajectory to 1e-12 over a real quench, and its
+  // traffic model shrinks accordingly.
+  {
+    const TrotterEvolver fused(h, 1e-12, 2, true);
+    const TrotterEvolver plain(h, 1e-12, 2, false);
+    CHECK(fused.fused());
+    CHECK(!plain.fused());
+    CHECK_EQ(fused.num_terms(), plain.num_terms());
+    CHECK(fused.num_groups() < fused.num_terms());
+    CHECK_EQ(plain.num_groups(), plain.num_terms());
+    CHECK(fused.step_traffic_bytes(2) < plain.step_traffic_bytes(2));
+    CHECK(fused.step_traffic_bytes(1) < fused.step_traffic_bytes(2));
+    StateVector a = StateVector::product(6, hubbard_cdw_occupation(p));
+    StateVector b = a;
+    fused.evolve(a, 1.0, 50, 2);
+    plain.evolve(b, 1.0, 50, 2);
+    CHECK_NEAR(a.max_abs_diff(b), 0.0, 1e-12);
+    // Order 1 fuses and agrees the same way.
+    StateVector c = StateVector::product(6, hubbard_cdw_occupation(p));
+    StateVector d = c;
+    fused.evolve(c, 0.5, 50, 1);
+    plain.evolve(d, 0.5, 50, 1);
+    CHECK_NEAR(c.max_abs_diff(d), 0.0, 1e-12);
+  }
+
+  // Forced-tier sweep: the same Strang trajectory is BITWISE identical
+  // under every SIMD tier available on this host (the cross-tier kernel
+  // contract lifted to whole evolutions), fused and unfused alike.
+  {
+    const SimdTier initial = simd_tier();
+    const TrotterEvolver fused(h, 1e-12, 2, true);
+    const TrotterEvolver plain(h, 1e-12, 2, false);
+    for (const TrotterEvolver* ev2 : {&fused, &plain}) {
+      set_simd_tier(SimdTier::scalar);
+      StateVector ref = StateVector::product(6, hubbard_cdw_occupation(p));
+      for (int s = 0; s < 5; ++s) ev2->step(ref, 0.03, 2);
+      for (SimdTier t : {SimdTier::avx2, SimdTier::avx512}) {
+        if (!simd_tier_available(t)) continue;
+        set_simd_tier(t);
+        StateVector x = StateVector::product(6, hubbard_cdw_occupation(p));
+        for (int s = 0; s < 5; ++s) ev2->step(x, 0.03, 2);
+        CHECK_NEAR(ref.max_abs_diff(x), 0.0, 0.0);
+      }
+    }
+    set_simd_tier(initial);
   }
 
   return gecos::test::finish("test_evolve");
