@@ -21,7 +21,8 @@
 // KPM and thermal-sampling estimators against dense eigh references.
 //
 // Usage: bench_main [--quick] [--out PATH] [--threads K] [--repeat K]
-//        [--simd TIER] [--only SUBSTR]... [--list] [--help]
+//        [--simd TIER] [--only SUBSTR]... [--trace PATH] [--progress]
+//        [--list] [--help]
 // (see print_help)
 #include <algorithm>
 #include <array>
@@ -62,6 +63,9 @@
 #include "state/state_vector.hpp"
 #include "symmetry/sector_operator.hpp"
 #include "symmetry/sector_vector.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/parallel.hpp"
 
 using namespace gecos;
@@ -111,8 +115,16 @@ Timing time_per_op(const std::function<void()>& fn, double min_seconds) {
 }
 
 struct BenchResult {
+  // Constructor (not aggregate init) so the existing two-field push_back
+  // sites stay untouched: the telemetry block is attached by the run loop.
+  BenchResult(std::string n, std::vector<std::pair<std::string, double>> f)
+      : name(std::move(n)), fields(std::move(f)) {}
   std::string name;
   std::vector<std::pair<std::string, double>> fields;
+  /// Nested "telemetry" block: the metrics-registry delta over the entry
+  /// (matvecs, modeled bytes, pool utilization). Filled by the run loop
+  /// from snapshot pairs; empty when metrics were off for the entry.
+  std::vector<std::pair<std::string, double>> telemetry;
 };
 
 std::string json_escape_free_format(double v) {
@@ -125,7 +137,7 @@ std::string json_escape_free_format(double v) {
 bool write_json(const std::string& path, bool quick,
                 const std::vector<BenchResult>& results) {
   std::ofstream out(path);
-  out << "{\n  \"schema\": \"gecos-bench-v3\",\n";
+  out << "{\n  \"schema\": \"gecos-bench-v4\",\n";
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   // Hardware context: numbers in one report are only comparable to another
   // report from the same (core count, ISA tier) machine. The avx2/avx512
@@ -143,6 +155,15 @@ bool write_json(const std::string& path, bool quick,
     out << "    {\"name\": \"" << results[i].name << "\"";
     for (const auto& [k, v] : results[i].fields)
       out << ", \"" << k << "\": " << json_escape_free_format(v);
+    if (!results[i].telemetry.empty()) {
+      out << ", \"telemetry\": {";
+      for (std::size_t j = 0; j < results[i].telemetry.size(); ++j) {
+        const auto& [k, v] = results[i].telemetry[j];
+        out << (j ? ", " : "") << "\"" << k
+            << "\": " << json_escape_free_format(v);
+      }
+      out << "}";
+    }
     out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -337,7 +358,8 @@ double thermal_energy_ref(const std::vector<double>& eigenvalues,
 void print_help(const char* prog) {
   std::printf(
       "usage: %s [--quick] [--out PATH] [--threads K] [--repeat K]\n"
-      "       [--simd TIER] [--only SUBSTR]... [--list] [--help]\n"
+      "       [--simd TIER] [--only SUBSTR]... [--trace PATH] [--progress]\n"
+      "       [--list] [--help]\n"
       "\n"
       "Runs the GECOS benchmark suite and writes a JSON report.\n"
       "\n"
@@ -365,16 +387,30 @@ void print_help(const char* prog) {
       "                --out the partial report goes to BENCH_partial.json\n"
       "                so the tracked full-suite artifact is never\n"
       "                clobbered\n"
+      "  --trace PATH  record scoped spans during the run and write a\n"
+      "                chrome://tracing / Perfetto trace-event JSON to PATH\n"
+      "                on exit (same format as GECOS_TRACE=<path>; validate\n"
+      "                or digest it with tools/trace_report.py)\n"
+      "  --progress    stream throttled solver progress lines (iteration,\n"
+      "                residual, matvecs, ETA) to stderr from the\n"
+      "                Lanczos-based entries\n"
       "  --list        print the registered bench entry names (one per\n"
       "                line, full-suite order) and exit without running\n"
       "                anything; with --only filters it prints exactly the\n"
       "                entries the same filters would run (a filter preview)\n"
       "  --help        print this message and exit\n"
       "\n"
-      "Output schema \"gecos-bench-v3\":\n"
-      "  {\"schema\": \"gecos-bench-v3\", \"quick\": bool,\n"
+      "Output schema \"gecos-bench-v4\":\n"
+      "  {\"schema\": \"gecos-bench-v4\", \"quick\": bool,\n"
       "   \"hw\": {\"nproc\", \"avx2\", \"avx512\", \"simd_tier\"},\n"
-      "   \"benchmarks\": [{\"name\": str, <numeric fields>}]}\n"
+      "   \"benchmarks\": [{\"name\": str, <numeric fields>,\n"
+      "                    \"telemetry\": {<counter deltas>}}]}\n"
+      "v4 adds the per-entry \"telemetry\" object: the metrics-registry\n"
+      "delta over the entry — matvecs (logical operator applications),\n"
+      "kernel_sweeps, amplitudes_touched, bytes_moved (the same analytic\n"
+      "traffic models as the roofline fields), pool_dispatches and\n"
+      "pool_utilization (pool task time / (task + idle)). Every other\n"
+      "field and the entry names are unchanged from v3.\n"
       "Fields ending in seconds_per_op are the MEDIAN over --repeat timed\n"
       "runs; the matching min_* field is the minimum across the same runs\n"
       "(the least-noise sample — compare trajectories on that). *_per_sec\n"
@@ -403,10 +439,15 @@ void print_help(const char* prog) {
       "integrated deviation; spectral_kpm_dos: exact-trace KPM DOS within\n"
       "the same gate, stochastic trace timed; spectral_thermal: sampled\n"
       "<H>_beta inside its own error bars across a beta sweep,\n"
-      "bit-reproducible under the fixed seed).\n"
+      "bit-reproducible under the fixed seed). telemetry_overhead gates\n"
+      "the instrumentation cost itself: the quench Strang step is timed\n"
+      "with telemetry off, with metrics on, and with metrics + tracing on,\n"
+      "and the enabled-over-off ratios must stay within 1%% (metrics) and\n"
+      "5%% (traced) at full size (relaxed gates under --quick, where the\n"
+      "short timing windows are noise-dominated).\n"
       "See DESIGN.md \"Benchmark methodology\", \"Krylov solver layer\",\n"
-      "\"Symmetry sectors\", \"Spectral & thermal workloads\" and README.md\n"
-      "\"Reading BENCH_pauli.json\".\n",
+      "\"Symmetry sectors\", \"Spectral & thermal workloads\",\n"
+      "\"Telemetry & tracing\" and README.md \"Reading BENCH_pauli.json\".\n",
       prog);
 }
 
@@ -418,6 +459,8 @@ int main(int argc, char** argv) {
   int threads_flag = 0;  // 0 = not given; parallel entries then default to 4
   std::string out_path = "BENCH_pauli.json";
   bool out_given = false;
+  std::string trace_path;        // --trace PATH (empty = no trace)
+  bool progress_flag = false;    // --progress: stderr solver progress
   std::vector<std::string> only;  // --only filters (empty = run everything)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -477,6 +520,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       only.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --trace requires a PATH argument\n",
+                     argv[0]);
+        return 2;
+      }
+      trace_path = argv[++i];
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "%s: --trace requires a non-empty PATH\n",
+                     argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress_flag = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
@@ -487,11 +544,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "%s: unknown argument '%s'\nusage: %s [--quick] [--out "
                    "PATH] [--threads K] [--repeat K] [--simd TIER] "
-                   "[--only SUBSTR]... [--list] [--help]\n",
+                   "[--only SUBSTR]... [--trace PATH] [--progress] "
+                   "[--list] [--help]\n",
                    argv[0], argv[i], argv[0]);
       return 2;
     }
   }
+  // Validate the lazily-parsed environment up front: a bad GECOS_THREADS /
+  // GECOS_SIMD should fail the run with the offending token and the
+  // flag-error exit code, not explode inside the first parallel kernel.
+  try {
+    (void)num_threads();
+    (void)simd_tier();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+  // Metrics are on for bench runs: the per-entry telemetry JSON block needs
+  // the registry live, and telemetry_overhead gates the cost of exactly
+  // this mode against the disabled path. --trace additionally records
+  // scoped spans into the per-thread rings.
+  telemetry::set_metrics_enabled(true);
+  if (!trace_path.empty()) telemetry::set_tracing_enabled(true);
   // A filtered run writes a PARTIAL report; defaulting it onto the tracked
   // full-suite artifact would silently clobber the perf trajectory, so
   // --only redirects the default output (an explicit --out still wins).
@@ -1012,6 +1086,10 @@ int main(int argc, char** argv) {
     LanczosOptions lo;
     lo.k = 2;  // ground state + gap
     lo.tol = 1e-8;
+    if (progress_flag) {
+      lo.progress = telemetry::stderr_progress("lanczos_ground_state");
+      lo.progress_interval = 10;
+    }
     Lanczos solver(h, lo);
     const auto t0 = std::chrono::steady_clock::now();
     const LanczosResult& lr = solver.solve();
@@ -1182,6 +1260,10 @@ int main(int argc, char** argv) {
 
     LanczosOptions lo;
     lo.tol = 1e-8;
+    if (progress_flag) {
+      lo.progress = telemetry::stderr_progress("sector_xcheck");
+      lo.progress_interval = 10;
+    }
     Lanczos solver(hs, lo);
     const auto t0 = std::chrono::steady_clock::now();
     const LanczosResult& lr = solver.solve();
@@ -1260,6 +1342,10 @@ int main(int argc, char** argv) {
     LanczosOptions lo;
     lo.k = 2;  // ground state + gap
     lo.tol = 1e-8;
+    if (progress_flag) {
+      lo.progress = telemetry::stderr_progress("sector_ground_state");
+      lo.progress_interval = 10;
+    }
     Lanczos solver(hs, lo);
     const auto t0 = std::chrono::steady_clock::now();
     const LanczosResult& lr = solver.solve();
@@ -1559,6 +1645,76 @@ int main(int argc, char** argv) {
     return 0;
   }});
 
+  // -- telemetry_overhead: the instrumentation-cost gate ---------------------
+  // The telemetry design promise is that the disabled path is a relaxed
+  // atomic load plus a predicted branch at every site. This entry proves it
+  // on the most instrumentation-dense hot loop in the tree — the fused
+  // Strang quench step at full size — by timing the SAME step with
+  // telemetry off, with metrics on, and with metrics + span tracing on,
+  // gating the enabled-over-off ratios. min-of-repeats on both sides, so
+  // the comparison uses the least-noise samples.
+  sections.push_back({"telemetry_overhead", [&] {
+    set_num_threads(k_threads);  // pin: identical under --only and full runs
+    const HubbardParams hq = quench_lattice(quick);
+    const std::size_t n = hubbard_num_modes(hq);
+    const ScbSum h = hubbard_scb(hq);
+    const TrotterEvolver ev(h);
+    const double dt = 0.02;
+    StateVector psi = StateVector::product(n, hubbard_cdw_occupation(hq));
+    const auto step_once = [&] {
+      ev.step(psi, dt, 2);
+      sink += static_cast<std::size_t>(psi[0].real() < 2);
+    };
+
+    const bool metrics_was = telemetry::metrics_enabled();
+    const bool tracing_was = telemetry::tracing_enabled();
+    telemetry::set_tracing_enabled(false);
+    telemetry::set_metrics_enabled(false);
+    const Timing off_t = time_per_op(step_once, min_s);
+    telemetry::set_metrics_enabled(true);
+    const Timing met_t = time_per_op(step_once, min_s);
+    telemetry::set_tracing_enabled(true);
+    const Timing trc_t = time_per_op(step_once, min_s);
+    telemetry::set_metrics_enabled(metrics_was);
+    telemetry::set_tracing_enabled(tracing_was);
+
+    const double metrics_over = std::max(0.0, met_t.min / off_t.min - 1.0);
+    const double traced_over = std::max(0.0, trc_t.min / off_t.min - 1.0);
+    // Quick runs use 0.05 s windows (CI smoke boxes): the ratios there are
+    // noise-dominated, so the gates relax by an order of magnitude. The
+    // full-size gates are the recorded contract.
+    const double metrics_gate = quick ? 0.10 : 0.01;
+    const double traced_gate = quick ? 0.25 : 0.05;
+    if (metrics_over > metrics_gate || traced_over > traced_gate) {
+      std::fprintf(stderr,
+                   "error: telemetry_overhead gate failed (metrics %+.2f%% "
+                   "gate %.0f%%, traced %+.2f%% gate %.0f%%; off %.3fms)\n",
+                   metrics_over * 100, metrics_gate * 100, traced_over * 100,
+                   traced_gate * 100, off_t.min * 1e3);
+      return 1;
+    }
+    std::printf("telemetry_overhead   n=%zu off=%.3fms metrics=%.3fms "
+                "traced=%.3fms over=%.2f%%/%.2f%% (gates %.0f%%/%.0f%%)\n",
+                n, off_t.min * 1e3, met_t.min * 1e3, trc_t.min * 1e3,
+                metrics_over * 100, traced_over * 100, metrics_gate * 100,
+                traced_gate * 100);
+    results.push_back(
+        {"telemetry_overhead",
+         {{"num_qubits", static_cast<double>(n)},
+          {"threads", static_cast<double>(k_threads)},
+          {"off_seconds_per_step", off_t.median},
+          {"off_min_seconds_per_step", off_t.min},
+          {"metrics_seconds_per_step", met_t.median},
+          {"metrics_min_seconds_per_step", met_t.min},
+          {"traced_seconds_per_step", trc_t.median},
+          {"traced_min_seconds_per_step", trc_t.min},
+          {"metrics_overhead_frac", metrics_over},
+          {"traced_overhead_frac", traced_over},
+          {"gate_metrics_overhead_frac", metrics_gate},
+          {"gate_traced_overhead_frac", traced_gate}}});
+    return 0;
+  }});
+
   // -- filter validation + list / run ----------------------------------------
   // One match predicate for the validation loop, the --list preview and the
   // run loop, so a filter the validator accepts always selects the same
@@ -1591,13 +1747,49 @@ int main(int argc, char** argv) {
   }
   for (const Section& s : sections) {
     if (!selected(s.name)) continue;
+    // Snapshot pair around the section: the delta becomes the entry's
+    // nested "telemetry" JSON block. Sections can push several results
+    // (bench_fermion); they all get the same section-level delta.
+    const std::size_t first = results.size();
+    const telemetry::MetricsSnapshot before = telemetry::metrics_snapshot();
     const int rc = s.run();
     if (rc != 0) return rc;
+    const telemetry::MetricsSnapshot d =
+        telemetry::metrics_delta(before, telemetry::metrics_snapshot());
+    using telemetry::Counter;
+    using telemetry::Hist;
+    const double task = static_cast<double>(d.hist(Hist::pool_task_ns).sum);
+    const double idle = static_cast<double>(d.hist(Hist::pool_idle_ns).sum);
+    const std::vector<std::pair<std::string, double>> tele = {
+        {"matvecs", static_cast<double>(d.counter(Counter::matvecs))},
+        {"kernel_sweeps",
+         static_cast<double>(d.counter(Counter::kernel_sweeps))},
+        {"amplitudes_touched",
+         static_cast<double>(d.counter(Counter::amplitudes_touched))},
+        {"bytes_moved", static_cast<double>(d.counter(Counter::bytes_moved))},
+        {"pool_dispatches",
+         static_cast<double>(d.counter(Counter::pool_dispatches))},
+        {"pool_utilization", task + idle > 0.0 ? task / (task + idle) : 0.0},
+    };
+    for (std::size_t i = first; i < results.size(); ++i)
+      results[i].telemetry = tele;
   }
 
   if (!write_json(out_path, quick, results)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
+  }
+  if (!trace_path.empty()) {
+    const telemetry::TraceWriter tw;
+    if (!tw.write_file(trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (%zu events, %llu dropped)\n",
+                trace_path.c_str(), telemetry::trace_events().size(),
+                static_cast<unsigned long long>(
+                    telemetry::trace_dropped_events()));
   }
   std::printf("wrote %s (sink=%zu)\n", out_path.c_str(), sink);
   return 0;

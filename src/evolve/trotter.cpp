@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "simd/kernels.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/bits.hpp"
 #include "util/parallel.hpp"
 
@@ -560,6 +562,15 @@ double TrotterEvolver::step_traffic_bytes(int order) const {
 void TrotterEvolver::step(std::span<cplx> x, double dt, int order) const {
   if (x.size() != (std::size_t{1} << n_))
     throw std::invalid_argument("TrotterEvolver::step: size mismatch");
+  GECOS_SPAN("trotter.step");
+  if (telemetry::metrics_enabled()) {
+    const std::uint64_t sweeps =
+        static_cast<std::uint64_t>(groups_.size()) * (order == 2 ? 2 : 1);
+    telemetry::count(telemetry::Counter::kernel_sweeps, sweeps);
+    telemetry::count(telemetry::Counter::amplitudes_touched, x.size());
+    telemetry::count(telemetry::Counter::bytes_moved,
+                     static_cast<std::uint64_t>(step_traffic_bytes(order)));
+  }
   if (order == 1) {
     for (const Group& g : groups_) apply_group(g, dt, x, false);
   } else if (order == 2) {

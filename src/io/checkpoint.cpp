@@ -11,6 +11,8 @@
 #include <cstring>
 
 #include "io/xxhash.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gecos {
 
@@ -163,6 +165,9 @@ void PayloadReader::require_end() const {
 
 void write_checkpoint(const std::string& path, PayloadKind kind,
                       std::span<const unsigned char> payload) {
+  GECOS_SPAN("checkpoint.write");
+  const bool metrics = telemetry::metrics_enabled();
+  const std::uint64_t t0 = metrics ? telemetry::now_ns() : 0;
   // Assemble the full image in memory: header, payload, trailing digest.
   std::vector<unsigned char> image(kCheckpointHeaderSize + payload.size() + 8);
   std::memcpy(image.data(), kCheckpointMagic, sizeof(kCheckpointMagic));
@@ -201,14 +206,23 @@ void write_checkpoint(const std::string& path, PayloadKind kind,
     throw Error(ErrorKind::io_corrupt, path + ": rename: " + errno_text());
   }
   sync_parent_dir(path);
+  if (metrics) {
+    telemetry::count(telemetry::Counter::checkpoint_writes);
+    telemetry::count(telemetry::Counter::checkpoint_bytes, image.size());
+    telemetry::observe(telemetry::Hist::checkpoint_write_ns,
+                       telemetry::now_ns() - t0);
+  }
 }
 
 Checkpoint read_checkpoint(const std::string& path) {
+  GECOS_SPAN("checkpoint.read");
   std::vector<unsigned char> bytes;
   if (!slurp(path, bytes))
     throw Error(ErrorKind::io_corrupt, path + ": cannot open: " +
                                            errno_text());
-  return parse(path, std::move(bytes));
+  Checkpoint ck = parse(path, std::move(bytes));
+  telemetry::count(telemetry::Counter::checkpoint_restores);
+  return ck;
 }
 
 Checkpoint read_checkpoint(const std::string& path, PayloadKind expect) {

@@ -8,6 +8,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace gecos {
@@ -63,6 +64,13 @@ void CsrMatrix::apply_add(std::span<const cplx> x, std::span<cplx> y,
                           cplx s) const {
   assert(x.size() == cols_ && y.size() == rows_);
   assert(x.data() != y.data() && "CsrMatrix::apply_add: x, y must not alias");
+  if (telemetry::metrics_enabled()) {
+    telemetry::count(telemetry::Counter::kernel_sweeps);
+    telemetry::count(telemetry::Counter::amplitudes_touched, rows_);
+    // 32 B per output (y rmw) + 32 B per stored entry (value + x gather).
+    telemetry::count(telemetry::Counter::bytes_moved,
+                     32 * rows_ + 32 * nnz());
+  }
   // Rows partition the output, so row blocks are race-free.
   parallel_for(rows_, [&](std::size_t r0, std::size_t r1, int) {
     for (std::size_t r = r0; r < r1; ++r) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace gecos {
@@ -12,10 +14,22 @@ void LinearOperator::apply(std::span<const cplx> x, std::span<cplx> y) const {
          "LinearOperator::apply: x and y must not alias");
   if (x.size() != y.size() || x.size() != dim())
     throw std::invalid_argument("LinearOperator::apply: size mismatch");
+  // The one logical-matvec chokepoint: every solver applies operators
+  // through here, so Counter::matvecs / Hist::matvec_ns count operator
+  // applications regardless of the concrete kernel (per-sweep traffic is
+  // counted inside the implementations' apply_add).
+  GECOS_SPAN("op.apply");
   parallel_for(y.size(), [&](std::size_t b, std::size_t e, int) {
     std::fill(y.begin() + static_cast<std::ptrdiff_t>(b),
               y.begin() + static_cast<std::ptrdiff_t>(e), cplx(0.0));
   });
+  if (telemetry::metrics_enabled()) {
+    const std::uint64_t t0 = telemetry::now_ns();
+    apply_add(x, y, cplx(1.0));
+    telemetry::count(telemetry::Counter::matvecs);
+    telemetry::observe(telemetry::Hist::matvec_ns, telemetry::now_ns() - t0);
+    return;
+  }
   apply_add(x, y, cplx(1.0));
 }
 

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace gecos {
@@ -369,6 +370,14 @@ void PauliSum::apply_add(std::span<const cplx> x, std::span<cplx> y,
     throw std::invalid_argument(
         "PauliSum::apply_add: statevector size mismatch");
   assert(x.data() != y.data() && "PauliSum::apply_add: x, y must not alias");
+  if (telemetry::metrics_enabled()) {
+    // Every live term streams the full statevector once: dim outputs
+    // updated per term at 48 B each (x gather + y read-modify-write).
+    const std::uint64_t d = x.size();
+    telemetry::count(telemetry::Counter::kernel_sweeps, live_);
+    telemetry::count(telemetry::Counter::amplitudes_touched, d);
+    telemetry::count(telemetry::Counter::bytes_moved, live_ * d * 48);
+  }
   // Partition the *output* index o = s ^ xm across threads: each thread owns
   // a contiguous y range, loops every live term per range and gathers from
   // x[o ^ xm], so no two threads ever write the same amplitude and the whole

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "simd/kernels.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bits.hpp"
 #include "util/parallel.hpp"
 
@@ -202,6 +203,15 @@ void TermKernel::apply_add(std::span<const cplx> x, std::span<cplx> y,
   const std::uint64_t free_mask = (x.size() - 1) & ~select_mask;
   if ((select_val & ~(x.size() - 1)) != 0) return;  // selection out of range
   const cplx b = base * scale;
+  if (telemetry::metrics_enabled()) {
+    // One sweep over the selected states; 48 B per touched amplitude (16 B
+    // x gather + 32 B y read-modify-write) — the bench traffic model.
+    const std::uint64_t touched = std::uint64_t{1}
+                                  << std::popcount(free_mask);
+    telemetry::count(telemetry::Counter::kernel_sweeps);
+    telemetry::count(telemetry::Counter::amplitudes_touched, touched);
+    telemetry::count(telemetry::Counter::bytes_moved, touched * 48);
+  }
 
   // Contiguous-run split: low free bits outside sign_mask and flip index
   // runs of 2^r adjacent states with constant sign, constant amplitude and

@@ -8,6 +8,8 @@
 #include "io/checkpoint.hpp"
 #include "linalg/blas1.hpp"
 #include "state/state_vector.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 
 namespace gecos {
@@ -39,6 +41,12 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
   // E = Re<psi|H psi>, var = ||H psi||^2 - E^2.
   AlignedVec hpsi(h.dim());
   ImagTimeResult r;
+  r.energy_history.reserve(opts.max_steps + 1);
+  r.variance_history.reserve(opts.max_steps + 1);
+  const std::size_t report_every =
+      opts.progress_interval == 0 ? 1 : opts.progress_interval;
+  const std::uint64_t t0 = telemetry::now_ns();
+  double first_metric = 0.0;
   const bool checkpointing =
       opts.checkpoint_interval > 0 && !opts.checkpoint_path.empty();
   std::size_t next_checkpoint = opts.checkpoint_interval;
@@ -69,6 +77,7 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
   // Also the resume-boundary health sweep: vec_norm inside throws
   // Error{numerical_nan} on any non-finite restored amplitude.
   normalize();
+  GECOS_SPAN("imag_time.solve");
   for (;;) {
     if (checkpointing && r.steps >= next_checkpoint) {
       PayloadWriter w;
@@ -90,6 +99,24 @@ ImagTimeResult imag_time_ground_state(const LinearOperator& h,
     r.energy = vec_dot(psi, hpsi).real();
     const double h2 = vec_norm(hpsi);
     r.variance = h2 * h2 - r.energy * r.energy;
+    if (r.energy_history.size() < r.energy_history.capacity())
+      r.energy_history.push_back(r.energy);
+    if (r.variance_history.size() < r.variance_history.capacity())
+      r.variance_history.push_back(r.variance);
+    if (opts.progress && (r.steps % report_every == 0)) {
+      telemetry::ProgressEvent ev;
+      ev.phase = "imag_time";
+      ev.iteration = r.steps;
+      ev.total = opts.max_steps;
+      ev.metric = r.variance;
+      ev.target = opts.variance_tol;
+      ev.matvecs = r.matvecs;
+      ev.elapsed_s = static_cast<double>(telemetry::now_ns() - t0) * 1e-9;
+      if (first_metric == 0.0 && r.variance > 0.0) first_metric = r.variance;
+      ev.eta_s = telemetry::eta_from_decay(first_metric, r.variance,
+                                           opts.variance_tol, ev.elapsed_s);
+      opts.progress(ev);
+    }
     if (r.variance <= opts.variance_tol) {
       r.converged = true;
       return r;

@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "ops/linear_op.hpp"
 #include "solver/krylov_evolve.hpp"
 #include "state/state_vector.hpp"
+#include "telemetry/progress.hpp"
 
 namespace gecos {
 
@@ -46,6 +48,12 @@ struct ImagTimeOptions {
   /// projection continues from it (fresh start when no file exists, so
   /// drivers need only one code path).
   bool resume = false;
+  /// Optional ProgressSink (phase "imag_time"): called on the solver thread
+  /// once per progress_interval steps with the current energy variance,
+  /// matvec count and a decay-extrapolated ETA. Empty disables reporting.
+  telemetry::ProgressFn progress;
+  /// Steps between progress callbacks (0 behaves as 1).
+  std::size_t progress_interval = 1;
 };
 
 /// Outcome of an imaginary-time projection.
@@ -59,6 +67,12 @@ struct ImagTimeResult {
   bool resumed = false;       ///< true when a checkpoint was loaded
   std::size_t resumed_steps = 0;        ///< steps inherited from the file
   std::size_t checkpoints_written = 0;  ///< checkpoint files produced
+  /// <H> after every measurement (one per projection step plus the final
+  /// one) — the filtering trajectory. Reserved up front (max_steps + 1
+  /// entries, capacity-guarded), recorded for this run's steps only.
+  std::vector<double> energy_history;
+  /// <H^2> - <H>^2 alongside energy_history.
+  std::vector<double> variance_history;
 };
 
 /// Projects psi onto the ground state of h (Hermitian; kLanczos Krylov mode

@@ -8,6 +8,8 @@
 
 #include "linalg/expm.hpp"
 #include "linalg/matrix.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 
 namespace gecos {
@@ -45,6 +47,10 @@ KrylovEvolver::KrylovEvolver(const LinearOperator& h, KrylovOptions opts)
   coeffs_.resize(m);
   if (opts.mode == KrylovMode::kArnoldi) hess_.resize((m + 1) * m);
   ws_.reserve(m);
+  // Residual-trajectory capacity: m extensions per substep times a generous
+  // substep allowance. Pushes are capacity-guarded, so a pathological
+  // splitting run truncates the history instead of allocating mid-step.
+  last_.residual_history.reserve(m * 64);
 }
 
 std::size_t KrylovEvolver::n_qubits() const { return op_.n_qubits(); }
@@ -75,7 +81,7 @@ std::size_t KrylovEvolver::build_and_solve(cplx z, std::span<const cplx> x,
     // into v_{j+1} in place, no copies.
     std::span<cplx> w = basis_.vec(j + 1);
     op_.apply(basis_.vec(j), w);
-    ++last_matvecs_;
+    ++last_.matvecs;
 
     double b = 0;
     if (lanczos) {
@@ -105,6 +111,8 @@ std::size_t KrylovEvolver::build_and_solve(cplx z, std::span<const cplx> x,
     // starting vector v_0 (= x / beta0), so the same budget works for
     // shrinking imaginary-time norms.
     const double err = b * solve_projection(z, m);
+    if (last_.residual_history.size() < last_.residual_history.capacity())
+      last_.residual_history.push_back(err);
 
     if (b <= opts_.breakdown_tol) {
       // Invariant subspace: the projection is exact, no estimate needed.
@@ -120,7 +128,7 @@ std::size_t KrylovEvolver::build_and_solve(cplx z, std::span<const cplx> x,
     if (lanczos) beta_[j] = b;
     vec_scale(w, cplx(1.0 / b));  // w becomes v_{j+1}
   }
-  last_subspace_ = std::max(last_subspace_, m);
+  last_.subspace = std::max(last_.subspace, m);
   return m;
 }
 
@@ -141,10 +149,13 @@ double KrylovEvolver::solve_projection(cplx z, std::size_t m) const {
 void KrylovEvolver::apply_expm(cplx z, std::span<cplx> x) const {
   if (x.size() != dim_)
     throw std::invalid_argument("KrylovEvolver::apply_expm: size mismatch");
-  last_matvecs_ = 0;
-  last_subspace_ = 0;
-  last_substeps_ = 0;
+  GECOS_SPAN("krylov.apply_expm");
+  last_.matvecs = 0;
+  last_.subspace = 0;
+  last_.substeps = 0;
+  last_.residual_history.clear();  // keeps the reserved capacity
   if (z == cplx(0.0)) return;
+  const std::uint64_t t0 = progress_ ? telemetry::now_ns() : 0;
 
   // Committed-fraction loop: try the whole remaining interval; every failure
   // at the subspace cap halves the trial fraction. Each substep gets an
@@ -183,7 +194,20 @@ void KrylovEvolver::apply_expm(cplx z, std::span<cplx> x) const {
       basis_.accumulate(x, coeffs_, m);
     }
     done += h;
-    ++last_substeps_;
+    ++last_.substeps;
+    if (progress_) {
+      telemetry::ProgressEvent ev;
+      ev.phase = "krylov";
+      ev.iteration = last_.substeps;
+      ev.metric = done;  // fraction of the interval committed
+      ev.target = 1.0;
+      ev.matvecs = last_.matvecs;
+      ev.elapsed_s = static_cast<double>(telemetry::now_ns() - t0) * 1e-9;
+      // Substeps commit uniform fractions once the trial settles, so the
+      // linear extrapolation over the committed fraction is the ETA.
+      ev.eta_s = done > 0 ? ev.elapsed_s / done * (1.0 - done) : -1.0;
+      progress_(ev);
+    }
   }
 }
 

@@ -42,6 +42,19 @@ struct KrylovOptions {
   double breakdown_tol = 1e-12;   ///< beta below this: invariant subspace
 };
 
+/// Statistics of one step()/apply_expm() call on a KrylovEvolver, exposed
+/// through KrylovEvolver::last_step().
+struct KrylovStepInfo {
+  std::size_t matvecs = 0;    ///< operator applications this call
+  std::size_t subspace = 0;   ///< largest Krylov dimension used
+  std::size_t substeps = 0;   ///< committed substeps (1 = no splitting)
+  /// Saad a-posteriori error estimate beta_j |[exp(z T_j)]_{j,1}| after
+  /// every basis extension, across all substeps — the convergence
+  /// trajectory of the call. Capacity is reserved at construction, so
+  /// recording never allocates during a step.
+  std::vector<double> residual_history;
+};
+
 /// Matrix-free exp(z H) propagator over a Krylov subspace.
 class KrylovEvolver : public Evolver {
  public:
@@ -69,12 +82,13 @@ class KrylovEvolver : public Evolver {
   /// returned unchanged.
   void apply_expm(cplx z, std::span<cplx> x) const;
 
-  /// Statistics of the most recent step()/apply_expm() call: operator
-  /// applications, largest subspace used, and number of committed substeps
-  /// (1 = no splitting).
-  std::size_t last_matvecs() const { return last_matvecs_; }
-  std::size_t last_subspace() const { return last_subspace_; }
-  std::size_t last_substeps() const { return last_substeps_; }
+  /// Statistics of the most recent step()/apply_expm() call, including the
+  /// per-extension residual-estimate trajectory.
+  const KrylovStepInfo& last_step() const { return last_; }
+  /// Shorthands over last_step() (kept for existing callers).
+  std::size_t last_matvecs() const { return last_.matvecs; }
+  std::size_t last_subspace() const { return last_.subspace; }
+  std::size_t last_substeps() const { return last_.substeps; }
 
  private:
   /// Builds K_j(H, x) one matvec at a time until the relative error
@@ -102,9 +116,7 @@ class KrylovEvolver : public Evolver {
   mutable std::vector<cplx> coeffs_;          // exp(z T) e1
   mutable SymEigWorkspace ws_;
   mutable double last_beta_ = 0;  // outward coupling of the built projection
-  mutable std::size_t last_matvecs_ = 0;
-  mutable std::size_t last_subspace_ = 0;
-  mutable std::size_t last_substeps_ = 0;
+  mutable KrylovStepInfo last_;   // history capacity reserved at construction
 };
 
 }  // namespace gecos

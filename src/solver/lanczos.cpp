@@ -9,6 +9,8 @@
 #include <string>
 
 #include "io/checkpoint.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 
 namespace gecos {
@@ -49,6 +51,12 @@ Lanczos::Lanczos(const LinearOperator& op, LanczosOptions opts)
   ws_.reserve(m_);
   result_.eigenvalues.assign(opts_.k, 0.0);
   result_.residuals.assign(opts_.k, 0.0);
+  // Histories are capacity-bounded here so recording during a solve is a
+  // plain push_back within reserve — the zero-allocation guarantee holds.
+  // One iteration per matvec bounds residual_history; every restart costs
+  // at least two extensions (keep_ <= m_ - 2), bounding restart_history.
+  result_.residual_history.reserve(opts_.max_matvecs + 1);
+  result_.restart_history.reserve(opts_.max_matvecs / 2 + 2);
 }
 
 std::span<const cplx> Lanczos::ritz_vector(std::size_t i) const {
@@ -135,6 +143,7 @@ void Lanczos::project_eig(std::size_t jj) const {
 }
 
 void Lanczos::thick_restart(std::size_t jj, std::size_t l, double b) const {
+  GECOS_SPAN("lanczos.restart");
   // Ritz vectors u_i = V z_i of the l lowest pairs, staged in aux_ (the
   // basis slots are still live inputs while any u_i is unfinished).
   for (std::size_t i = 0; i < l; ++i) {
@@ -178,6 +187,15 @@ void Lanczos::thick_restart(std::size_t jj, std::size_t l, double b) const {
   }
   locked_ = l;
   ++result_.restarts;
+  if (result_.restart_history.size() < result_.restart_history.capacity()) {
+    LanczosRestartInfo info;
+    info.iteration = result_.iterations;
+    info.matvecs = result_.matvecs;
+    info.lowest_ritz = ws_.d[0];
+    info.norm_drift = drift;
+    info.ortho_loss = ortho;
+    result_.restart_history.push_back(info);
+  }
   for (std::size_t i = 0; i <= m_; ++i) omega_[i] = omega_prev_[i] = kEps;
 }
 
@@ -273,6 +291,8 @@ const LanczosResult& Lanczos::resume(const std::string& path) {
   result_.resumed = true;
   result_.max_norm_drift = 0.0;
   result_.max_ortho_loss = 0.0;
+  result_.residual_history.clear();
+  result_.restart_history.clear();
   std::fill(result_.eigenvalues.begin(), result_.eigenvalues.end(), 0.0);
   std::fill(result_.residuals.begin(), result_.residuals.end(), 0.0);
   next_checkpoint_ = result_.matvecs + opts_.checkpoint_interval;
@@ -313,6 +333,8 @@ const LanczosResult& Lanczos::run() {
   result_.resumed = false;
   result_.max_norm_drift = 0.0;
   result_.max_ortho_loss = 0.0;
+  result_.residual_history.clear();
+  result_.restart_history.clear();
   locked_ = 0;
   dist_.reset();
   std::fill(tmat_.begin(), tmat_.end(), 0.0);
@@ -326,9 +348,14 @@ const LanczosResult& Lanczos::run() {
 }
 
 const LanczosResult& Lanczos::loop(std::size_t j0) {
+  GECOS_SPAN("lanczos.solve");
   const std::size_t k = opts_.k;
   const bool checkpointing =
       opts_.checkpoint_interval > 0 && !opts_.checkpoint_path.empty();
+  const std::size_t report_every =
+      opts_.progress_interval == 0 ? 1 : opts_.progress_interval;
+  solve_start_ns_ = telemetry::now_ns();
+  first_metric_ = 0.0;
   std::size_t j = j0;      // index of the newest basis vector
   std::size_t jj = 0;      // current basis size after the extension below
   double b_exit = 0.0;     // residual coupling at loop exit
@@ -353,15 +380,33 @@ const LanczosResult& Lanczos::loop(std::size_t j0) {
     const bool breakdown = b <= 1e-12 * std::max(1.0, std::abs(tmat_[j * m_ + j]));
 
     project_eig(jj);
-    bool all_done = jj >= k;
-    if (all_done)
-      for (std::size_t i = 0; i < k; ++i) {
-        const double res = breakdown ? 0.0 : b * std::abs(ws_.z[j * jj + i]);
-        if (res > opts_.tol) {
-          all_done = false;
-          break;
-        }
-      }
+    // Worst residual over the requested pairs available so far — the
+    // convergence metric of the history and the progress reports.
+    const std::size_t avail = std::min(jj, k);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < avail; ++i) {
+      const double res = breakdown ? 0.0 : b * std::abs(ws_.z[j * jj + i]);
+      worst = std::max(worst, res);
+    }
+    if (result_.residual_history.size() <
+        result_.residual_history.capacity())
+      result_.residual_history.push_back(worst);
+    if (opts_.progress && (result_.iterations % report_every == 0)) {
+      telemetry::ProgressEvent ev;
+      ev.phase = "lanczos";
+      ev.iteration = result_.iterations;
+      ev.metric = worst;
+      ev.target = opts_.tol;
+      ev.matvecs = result_.matvecs;
+      ev.elapsed_s =
+          static_cast<double>(telemetry::now_ns() - solve_start_ns_) * 1e-9;
+      if (first_metric_ == 0.0 && jj >= k && worst > 0.0)
+        first_metric_ = worst;
+      ev.eta_s = telemetry::eta_from_decay(first_metric_, worst, opts_.tol,
+                                           ev.elapsed_s);
+      opts_.progress(ev);
+    }
+    const bool all_done = jj >= k && worst <= opts_.tol;
     if (all_done || result_.matvecs >= opts_.max_matvecs) {
       result_.converged = all_done;
       b_exit = breakdown ? 0.0 : b;

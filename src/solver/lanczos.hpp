@@ -35,6 +35,7 @@
 #include "linalg/sym_eig.hpp"
 #include "ops/linear_op.hpp"
 #include "state/krylov_basis.hpp"
+#include "telemetry/progress.hpp"
 
 namespace gecos {
 
@@ -59,6 +60,22 @@ struct LanczosOptions {
   std::string checkpoint_path;
   /// Matvecs between checkpoint writes; 0 (the default) disables them.
   std::size_t checkpoint_interval = 0;
+  /// Optional ProgressSink (phase "lanczos"): called on the solver thread
+  /// once per progress_interval iterations with the current worst residual,
+  /// matvec count and a decay-extrapolated ETA. Empty disables reporting.
+  telemetry::ProgressFn progress;
+  /// Iterations between progress callbacks (0 behaves as 1).
+  std::size_t progress_interval = 1;
+};
+
+/// One thick-restart boundary of a solve, as recorded in
+/// LanczosResult::restart_history.
+struct LanczosRestartInfo {
+  std::size_t iteration = 0;  ///< Lanczos steps completed at the restart
+  std::size_t matvecs = 0;    ///< operator applications at the restart
+  double lowest_ritz = 0.0;   ///< best Ritz value carried into the restart
+  double norm_drift = 0.0;    ///< health monitor at this boundary
+  double ortho_loss = 0.0;    ///< health monitor at this boundary
 };
 
 /// Outcome of a Lanczos solve. Buffers are preallocated at construction and
@@ -80,6 +97,14 @@ struct LanczosResult {
   /// vectors, and worst |<v_i, v_res>| against the new residual vector.
   double max_norm_drift = 0.0;
   double max_ortho_loss = 0.0;  ///< see max_norm_drift
+  /// Worst residual over the (available) requested Ritz pairs after each
+  /// iteration — the convergence trajectory. Capacity is reserved at
+  /// construction (max_matvecs + 1 entries), so recording never allocates
+  /// during a solve; a resumed run records only its own iterations.
+  std::vector<double> residual_history;
+  /// One entry per thick restart (see LanczosRestartInfo); reserved at
+  /// construction like residual_history.
+  std::vector<LanczosRestartInfo> restart_history;
 };
 
 /// Thick-restart Lanczos eigensolver for the k lowest eigenpairs.
@@ -156,6 +181,8 @@ class Lanczos {
   // the checkpoint and the resumed draw sequence stays exact.
   mutable std::normal_distribution<double> dist_;
   mutable std::size_t next_checkpoint_ = 0;  // matvec count of next write
+  mutable std::uint64_t solve_start_ns_ = 0;  // progress elapsed/ETA anchor
+  mutable double first_metric_ = 0.0;  // first finite residual (ETA decay)
   mutable LanczosResult result_;
 };
 

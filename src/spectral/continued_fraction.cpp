@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "linalg/blas1.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gecos {
 
@@ -34,6 +36,8 @@ std::size_t SpectralFunction::build(std::span<const cplx> phi) {
   vec_copy(basis_.vec(0), phi);
   vec_scale(basis_.vec(0), cplx(1.0 / nrm));
 
+  GECOS_SPAN("spectral.cf.build");
+  const std::uint64_t t0 = opts_.progress ? telemetry::now_ns() : 0;
   m_ = 0;
   for (std::size_t j = 0; j < cap_; ++j) {
     const std::span<const cplx> vj = basis_.vec(j);
@@ -46,6 +50,17 @@ std::size_t SpectralFunction::build(std::span<const cplx> phi) {
     // continued fraction starts resolving interior structure.
     basis_.project_out(w, j + 1);
     m_ = j + 1;
+    if (opts_.progress) {
+      telemetry::ProgressEvent ev;
+      ev.phase = "spectral.cf";
+      ev.iteration = m_;
+      ev.total = cap_;
+      ev.matvecs = m_;  // one apply per moment
+      ev.elapsed_s = static_cast<double>(telemetry::now_ns() - t0) * 1e-9;
+      ev.eta_s = ev.elapsed_s / static_cast<double>(m_) *
+                 static_cast<double>(cap_ - m_);
+      opts_.progress(ev);
+    }
     if (j + 1 == cap_) break;
     const double b = vec_norm(w);
     if (b <= opts_.breakdown_tol * nrm) break;  // invariant subspace: exact

@@ -32,6 +32,7 @@
 
 #include "ops/linear_op.hpp"
 #include "state/krylov_basis.hpp"
+#include "telemetry/progress.hpp"
 
 namespace gecos {
 
@@ -44,6 +45,10 @@ struct SpectralFunctionOptions {
   /// Recurrence norm below breakdown_tol * ||phi|| stops the build — the
   /// invariant subspace is exhausted and the fraction is exact.
   double breakdown_tol = 1e-12;
+  /// Optional ProgressSink (phase "spectral.cf"): called once per Lanczos
+  /// moment during build() with the depth reached and the matvec count.
+  /// Empty disables reporting.
+  telemetry::ProgressFn progress;
 };
 
 /// Continued-fraction spectral function of one probe state.

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "linalg/blas1.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gecos {
 
@@ -77,9 +79,24 @@ std::size_t KpmDos::accumulate_moments() {
 }
 
 std::size_t KpmDos::compute() {
+  GECOS_SPAN("spectral.kpm.compute");
   std::fill(mu_.begin(), mu_.end(), 0.0);
   std::size_t matvecs = 0;
   std::size_t samples = 0;
+  const std::size_t total = opts_.num_random == 0 ? dim_ : opts_.num_random;
+  const std::uint64_t t0ns = opts_.progress ? telemetry::now_ns() : 0;
+  const auto report = [&] {
+    if (!opts_.progress) return;
+    telemetry::ProgressEvent ev;
+    ev.phase = "spectral.kpm";
+    ev.iteration = samples;
+    ev.total = total;
+    ev.matvecs = matvecs;
+    ev.elapsed_s = static_cast<double>(telemetry::now_ns() - t0ns) * 1e-9;
+    ev.eta_s = ev.elapsed_s / static_cast<double>(samples) *
+               static_cast<double>(total - samples);
+    opts_.progress(ev);
+  };
   if (opts_.num_random == 0) {
     // Exact trace: one Chebyshev recurrence per basis state. O(dim * M / 2)
     // matvecs — the dense-reference-grade mode for small sectors.
@@ -88,6 +105,7 @@ std::size_t KpmDos::compute() {
       t0_[i] = cplx(1.0);
       matvecs += accumulate_moments();
       ++samples;
+      report();
     }
   } else {
     // Stochastic trace: normalized Gaussian probes, E<r|T|r> = Tr T / dim.
@@ -98,6 +116,7 @@ std::size_t KpmDos::compute() {
       vec_scale(t0_, cplx(1.0 / vec_norm(t0_)));
       matvecs += accumulate_moments();
       ++samples;
+      report();
     }
   }
   const double inv = opts_.num_random == 0
@@ -115,6 +134,7 @@ std::size_t KpmDos::compute_local(std::span<const cplx> phi) {
   const double nrm = vec_norm(phi);
   if (nrm == 0.0)
     throw std::invalid_argument("KpmDos::compute_local: zero probe state");
+  GECOS_SPAN("spectral.kpm.local");
   std::fill(mu_.begin(), mu_.end(), 0.0);
   vec_copy(t0_, phi);
   vec_scale(t0_, cplx(1.0 / nrm));

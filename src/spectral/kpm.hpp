@@ -30,6 +30,7 @@
 #include "ops/linear_op.hpp"
 #include "spectral/spectral_bounds.hpp"
 #include "state/state_vector.hpp"
+#include "telemetry/progress.hpp"
 
 namespace gecos {
 
@@ -45,6 +46,10 @@ struct KpmOptions {
   double e_min = 0.0;
   double e_max = 0.0;
   SpectralBoundsOptions bounds;   ///< knobs of the automatic estimate
+  /// Optional ProgressSink (phase "spectral.kpm"): called once per trace
+  /// probe during compute() with the probe index and the matvecs spent so
+  /// far. Empty disables reporting.
+  telemetry::ProgressFn progress;
 };
 
 /// Chebyshev-moment density-of-states estimator with Jackson damping.

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "linalg/blas1.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gecos {
 
@@ -47,6 +49,8 @@ ThermalResult ThermalSampler::expectation(const LinearOperator& o,
           : 0;
   const double dtau = chunks > 0 ? tau / static_cast<double>(chunks) : 0.0;
 
+  GECOS_SPAN("spectral.thermal.expectation");
+  const std::uint64_t t0 = opts_.progress ? telemetry::now_ns() : 0;
   ThermalResult r;
   r.samples = opts_.num_samples;
   for (std::size_t s = 0; s < opts_.num_samples; ++s) {
@@ -70,6 +74,17 @@ ThermalResult ThermalSampler::expectation(const LinearOperator& o,
     o.apply_add(psi_, scratch_, cplx(1.0));
     ++r.matvecs;
     o_vals_[s] = vec_dot(psi_, scratch_).real();
+    if (opts_.progress) {
+      telemetry::ProgressEvent ev;
+      ev.phase = "spectral.thermal";
+      ev.iteration = s + 1;
+      ev.total = opts_.num_samples;
+      ev.matvecs = r.matvecs;
+      ev.elapsed_s = static_cast<double>(telemetry::now_ns() - t0) * 1e-9;
+      ev.eta_s = ev.elapsed_s / static_cast<double>(s + 1) *
+                 static_cast<double>(opts_.num_samples - s - 1);
+      opts_.progress(ev);
+    }
   }
 
   // Self-normalizing ratio with weights shifted by the max log-weight: the

@@ -29,6 +29,7 @@
 #include "ops/linear_op.hpp"
 #include "solver/krylov_evolve.hpp"
 #include "state/state_vector.hpp"
+#include "telemetry/progress.hpp"
 
 namespace gecos {
 
@@ -41,6 +42,10 @@ struct ThermalOptions {
   double dbeta = 0.25;
   std::size_t max_subspace = 24;  ///< Krylov cap of the projection evolver
   double krylov_tol = 1e-12;      ///< per-chunk projection error budget
+  /// Optional ProgressSink (phase "spectral.thermal"): called once per
+  /// thermal sample during expectation() with the sample index and the
+  /// matvecs spent so far. Empty disables reporting.
+  telemetry::ProgressFn progress;
 };
 
 /// One thermal estimate with its sampling uncertainty.

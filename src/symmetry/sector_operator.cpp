@@ -8,6 +8,7 @@
 
 #include "ops/term.hpp"
 #include "simd/kernels.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace gecos {
@@ -175,6 +176,20 @@ void SectorOperator::apply_add(std::span<const cplx> x, std::span<cplx> y,
   assert(x.size() == basis_.dim() && y.size() == basis_.dim());
   const std::size_t d = basis_.dim();
   const simd::Kernels& kn = simd::active();
+  if (telemetry::metrics_enabled()) {
+    // Same traffic model as the bench roofline: 48 B/amplitude for the
+    // fused diagonal pass, 52 B/amplitude per table-driven hop kernel
+    // (48 B without tables).
+    const std::uint64_t d64 = d;
+    const std::uint64_t diag = diag_.empty() ? 0 : 1;
+    const std::uint64_t hops = kernels_.size();
+    const std::uint64_t hop_bytes = hop_targets_.empty() ? 48 : 52;
+    telemetry::count(telemetry::Counter::kernel_sweeps, diag + hops);
+    telemetry::count(telemetry::Counter::amplitudes_touched,
+                     (diag + hops) * d64);
+    telemetry::count(telemetry::Counter::bytes_moved,
+                     diag * 48 * d64 + hops * hop_bytes * d64);
+  }
   // Fused diagonal first (rank-preserving: each chunk owns its y range),
   // one wide elementwise pass through the dispatch layer.
   if (!diag_.empty()) {

@@ -1,0 +1,225 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "telemetry/telemetry.hpp"
+
+namespace gecos::telemetry {
+
+namespace {
+
+// One thread's preallocated circular event buffer. record() runs on the
+// owning thread only; collection locks the ring mutex, so the per-record
+// cost is one uncontended lock.
+struct Ring {
+  explicit Ring(std::uint32_t id) : tid(id) { buf.resize(kSpanRingCapacity); }
+
+  void record(const TraceEvent& ev) {
+    std::scoped_lock<std::mutex> lk(m);
+    buf[head] = ev;
+    head = (head + 1) % buf.size();
+    if (total >= buf.size()) {
+      ++dropped;
+      count(Counter::spans_dropped);
+    }
+    ++total;
+  }
+
+  std::mutex m;
+  std::vector<TraceEvent> buf;
+  std::size_t head = 0;      // next write slot
+  std::uint64_t total = 0;   // events ever recorded
+  std::uint64_t dropped = 0; // events overwritten
+  std::uint32_t tid;
+};
+
+// Ring registry; leaked for the same static-destruction-order reason as
+// the metrics shard registry (worker TLS retires rings at pool join time).
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance() {
+    static TraceRegistry* r = new TraceRegistry;  // leaked, see class comment
+    return *r;
+  }
+
+  Ring* acquire() {
+    std::scoped_lock<std::mutex> lk(m_);
+    auto ring = std::make_unique<Ring>(next_tid_++);
+    Ring* raw = ring.get();
+    live_.push_back(std::move(ring));
+    return raw;
+  }
+
+  void release(Ring* r) {
+    std::scoped_lock<std::mutex> lk(m_);
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].get() == r) {
+        retired_.push_back(std::move(live_[i]));
+        live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  std::vector<TraceEvent> collect() {
+    std::scoped_lock<std::mutex> lk(m_);
+    std::vector<TraceEvent> out;
+    for (const auto& list : {&live_, &retired_}) {
+      for (const auto& ring : *list) {
+        std::scoped_lock<std::mutex> rk(ring->m);
+        const std::size_t cap = ring->buf.size();
+        const std::size_t n =
+            ring->total < cap ? static_cast<std::size_t>(ring->total) : cap;
+        // Oldest surviving event first: at slot `head` when wrapped.
+        const std::size_t start = ring->total < cap ? 0 : ring->head;
+        for (std::size_t i = 0; i < n; ++i)
+          out.push_back(ring->buf[(start + i) % cap]);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.tid != b.tid) return a.tid < b.tid;
+                if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                return a.dur_ns > b.dur_ns;  // parents before children
+              });
+    return out;
+  }
+
+  std::uint64_t dropped() {
+    std::scoped_lock<std::mutex> lk(m_);
+    std::uint64_t d = 0;
+    for (const auto& list : {&live_, &retired_})
+      for (const auto& ring : *list) {
+        std::scoped_lock<std::mutex> rk(ring->m);
+        d += ring->dropped;
+      }
+    return d;
+  }
+
+  void clear() {
+    std::scoped_lock<std::mutex> lk(m_);
+    for (const auto& list : {&live_, &retired_})
+      for (const auto& ring : *list) {
+        std::scoped_lock<std::mutex> rk(ring->m);
+        ring->head = 0;
+        ring->total = 0;
+        ring->dropped = 0;
+      }
+    // Fully retired rings hold no live thread; drop them so cleared traces
+    // do not accumulate dead buffers across bench entries.
+    retired_.clear();
+  }
+
+ private:
+  TraceRegistry() = default;
+  std::mutex m_;
+  std::vector<std::unique_ptr<Ring>> live_;
+  std::vector<std::unique_ptr<Ring>> retired_;
+  std::uint32_t next_tid_ = 1;
+};
+
+struct RingHandle {
+  Ring* ring = nullptr;
+  Ring& get() {
+    if (ring == nullptr) ring = TraceRegistry::instance().acquire();
+    return *ring;
+  }
+  ~RingHandle() {
+    if (ring != nullptr) TraceRegistry::instance().release(ring);
+  }
+};
+
+thread_local RingHandle tls_ring;
+thread_local std::uint32_t tls_depth = 0;
+
+// Trace epoch: fixed at the first enable so timestamps are small positive
+// microsecond offsets in the viewer.
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+std::uint64_t trace_now_ns() {
+  return now_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool on) {
+  if (on) {
+    std::uint64_t expected = 0;
+    g_epoch_ns.compare_exchange_strong(expected, now_ns(),
+                                       std::memory_order_relaxed);
+  }
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void ScopedSpan::start(const char* name) {
+  name_ = name;
+  depth_ = tls_depth++;
+  t0_ = trace_now_ns();
+  active_ = true;
+}
+
+void ScopedSpan::finish() {
+  const std::uint64_t t1 = trace_now_ns();
+  --tls_depth;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.depth = depth_;
+  ev.ts_ns = t0_;
+  ev.dur_ns = t1 >= t0_ ? t1 - t0_ : 0;
+  Ring& ring = tls_ring.get();
+  ev.tid = ring.tid;
+  ring.record(ev);
+}
+
+std::vector<TraceEvent> trace_events() {
+  return TraceRegistry::instance().collect();
+}
+
+std::uint64_t trace_dropped_events() {
+  return TraceRegistry::instance().dropped();
+}
+
+void trace_clear() { TraceRegistry::instance().clear(); }
+
+void TraceWriter::write(std::ostream& os) const {
+  const std::vector<TraceEvent> events = trace_events();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+        "\"process_name\", \"args\": {\"name\": \"gecos\"}}";
+  std::uint32_t named_tid = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.tid != named_tid) {
+      named_tid = ev.tid;
+      os << ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " << ev.tid
+         << ", \"name\": \"thread_name\", \"args\": {\"name\": \"gecos-"
+         << ev.tid << "\"}}";
+    }
+    // ts/dur in microseconds (the trace-event unit), 3 decimals = ns.
+    const double ts_us = static_cast<double>(ev.ts_ns) / 1000.0;
+    const double dur_us = static_cast<double>(ev.dur_ns) / 1000.0;
+    char num[64];
+    os << ",\n{\"name\": \"" << ev.name
+       << "\", \"cat\": \"gecos\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << ev.tid << ", \"ts\": ";
+    std::snprintf(num, sizeof num, "%.3f", ts_us);
+    os << num << ", \"dur\": ";
+    std::snprintf(num, sizeof num, "%.3f", dur_us);
+    os << num << ", \"args\": {\"depth\": " << ev.depth << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace gecos::telemetry

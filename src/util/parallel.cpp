@@ -1,11 +1,17 @@
 #include "util/parallel.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace gecos {
 
@@ -16,18 +22,18 @@ namespace {
 thread_local bool tls_in_worker = false;
 
 int initial_threads() {
-  if (const char* env = std::getenv("GECOS_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
-      return static_cast<int>(v);
-  }
+  if (const char* env = std::getenv("GECOS_THREADS"))
+    return parse_threads_env(env);
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
 int& threads_setting() {
-  static int setting = initial_threads();
+  static int setting = [] {
+    const int t = initial_threads();
+    telemetry::gauge_set(telemetry::Gauge::threads, t);
+    return t;
+  }();
   return setting;
 }
 
@@ -60,7 +66,18 @@ class Pool {
       ++generation_;
     }
     work_cv_.notify_all();
-    run_chunk(n, fn, ctx, chunks, 0);
+    const bool metrics = telemetry::metrics_enabled();
+    if (metrics) {
+      telemetry::count(telemetry::Counter::pool_dispatches);
+      telemetry::count(telemetry::Counter::pool_chunks,
+                       static_cast<std::uint64_t>(chunks));
+      const std::uint64_t t0 = telemetry::now_ns();
+      run_chunk(n, fn, ctx, chunks, 0);
+      telemetry::observe(telemetry::Hist::pool_task_ns,
+                         telemetry::now_ns() - t0);
+    } else {
+      run_chunk(n, fn, ctx, chunks, 0);
+    }
     std::unique_lock<std::mutex> lk(m_);
     done_cv_.wait(lk, [&] { return pending_ == 0; });
     fn_ = nullptr;
@@ -100,7 +117,15 @@ class Pool {
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lk(m_);
     while (true) {
+      // Idle attribution: the wait below is exactly the worker's
+      // between-dispatch park time. One enabled check per dispatch, not per
+      // chunk iteration, so the disabled pool path is unchanged.
+      const bool metrics = telemetry::metrics_enabled();
+      const std::uint64_t idle_t0 = metrics ? telemetry::now_ns() : 0;
       work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (metrics)
+        telemetry::observe(telemetry::Hist::pool_idle_ns,
+                           telemetry::now_ns() - idle_t0);
       if (stop_) return;
       seen = generation_;
       if (w < chunks_ - 1) {
@@ -109,7 +134,14 @@ class Pool {
         const std::size_t n = n_;
         const int chunks = chunks_;
         lk.unlock();
-        run_chunk(n, fn, ctx, chunks, w + 1);
+        if (telemetry::metrics_enabled()) {
+          const std::uint64_t t0 = telemetry::now_ns();
+          run_chunk(n, fn, ctx, chunks, w + 1);
+          telemetry::observe(telemetry::Hist::pool_task_ns,
+                             telemetry::now_ns() - t0);
+        } else {
+          run_chunk(n, fn, ctx, chunks, w + 1);
+        }
         lk.lock();
         if (--pending_ == 0) done_cv_.notify_one();
       }
@@ -132,9 +164,26 @@ class Pool {
 
 }  // namespace
 
+int parse_threads_env(const char* text) {
+  const std::string s(text == nullptr ? "" : text);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  // strtol skips leading whitespace and accepts a sign; strict means digits
+  // only, so " 4" and "+4" are rejected like any other junk.
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])) ||
+      end != s.c_str() + s.size() || errno == ERANGE || v < 1 || v > 1024)
+    throw std::invalid_argument("GECOS_THREADS='" + s +
+                                "': expected an integer in [1, 1024]");
+  return static_cast<int>(v);
+}
+
 int num_threads() { return threads_setting(); }
 
-void set_num_threads(int k) { threads_setting() = k < 1 ? 1 : k; }
+void set_num_threads(int k) {
+  threads_setting() = k < 1 ? 1 : k;
+  telemetry::gauge_set(telemetry::Gauge::threads, threads_setting());
+}
 
 namespace detail {
 

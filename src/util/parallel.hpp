@@ -32,8 +32,15 @@ inline constexpr std::size_t kParallelGrain = std::size_t{1} << 13;
 /// fixed-size stack array.
 inline constexpr int kMaxParallelChunks = 256;
 
-/// Current worker-count setting (>= 1). First call reads GECOS_THREADS; an
-/// unset/invalid variable defaults to std::thread::hardware_concurrency().
+/// Strict GECOS_THREADS parser: an integer in [1, 1024]. Anything else —
+/// non-numeric, trailing junk, out of range — throws std::invalid_argument
+/// naming the offending token (a silent fallback would quietly ignore what
+/// the user asked for). Exposed for direct testing.
+int parse_threads_env(const char* text);
+
+/// Current worker-count setting (>= 1). First call reads GECOS_THREADS via
+/// parse_threads_env (so an invalid value throws, loudly); an unset
+/// variable defaults to std::thread::hardware_concurrency().
 int num_threads();
 
 /// Overrides the worker count (clamped to >= 1). Existing pool workers are

@@ -23,6 +23,8 @@
 //        --threads K        worker threads (default: library default)
 //        --expected E       override the reference energy
 //        --tol T            |E0_resumed - reference| bound (default 1e-10)
+//        --progress         throttled solver progress (iteration, residual,
+//                           matvecs, ETA) on stderr during every solve
 #include <sys/stat.h>
 #include <sys/wait.h>
 
@@ -42,6 +44,7 @@
 #include "io/checkpoint.hpp"
 #include "ops/scb_sum.hpp"
 #include "solver/lanczos.hpp"
+#include "telemetry/progress.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -59,6 +62,7 @@ struct Args {
   int threads = 0;
   double expected = std::nan("");
   double tol = 1e-10;
+  bool progress = false;
 };
 
 /// The bench quench lattice (src/bench/bench_main.cpp quench_lattice):
@@ -84,6 +88,10 @@ LanczosOptions options(const Args& a) {
   lo.tol = 1e-8;
   lo.checkpoint_path = a.checkpoint;
   lo.checkpoint_interval = a.interval;
+  if (a.progress) {
+    lo.progress = telemetry::stderr_progress(a.mode.c_str());
+    lo.progress_interval = 10;
+  }
   return lo;
 }
 
@@ -97,6 +105,8 @@ bool parse(int argc, char** argv, Args& a) {
     };
     if (f == "--quick") {
       a.quick = true;
+    } else if (f == "--progress") {
+      a.progress = true;
     } else if (f == "--checkpoint") {
       const char* v = next();
       if (!v) return false;
@@ -257,7 +267,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s run|resume|selftest [--quick] [--checkpoint P]\n"
                  "       [--interval N] [--threads K] [--expected E] "
-                 "[--tol T]\n",
+                 "[--tol T] [--progress]\n",
                  argv[0]);
     return 2;
   }
