@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -184,9 +185,18 @@ void write_checkpoint(const std::string& path, PayloadKind kind,
   const std::uint64_t digest = xxh64(image.data(), hashed);
   std::memcpy(image.data() + hashed, &digest, 8);
 
-  // Durable write to the side file first; the primary is never opened for
-  // writing, so a crash at any point here leaves it untouched.
-  const std::string tmp = path + ".tmp";
+  // Durable write to a writer-unique side file first; the primary is never
+  // opened for writing, so a crash at any point here leaves it untouched.
+  // The pid + sequence suffix keeps concurrent writers (two checkpointing
+  // threads, or a daemon racing its tools) out of each other's buffers: a
+  // fixed ".tmp" name would interleave two writers' bytes in one file and
+  // publish garbage through the rename. With unique side files every rename
+  // publishes one writer's COMPLETE image; the final path/bak pair is some
+  // serialization of the racers, each file individually valid.
+  static std::atomic<std::uint64_t> write_seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(write_seq.fetch_add(1, std::memory_order_relaxed));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f)
     throw Error(ErrorKind::io_corrupt, tmp + ": open: " + errno_text());

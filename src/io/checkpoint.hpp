@@ -11,11 +11,17 @@
 // moved across endianness fails the version check, which is the honest
 // answer (the amplitude payload would be byte-swapped anyway).
 //
-// Writes are crash-safe by construction: the full image is written to
-// `path + ".tmp"`, flushed and fsync'd, the previous checkpoint (if any) is
-// rotated to `path + ".bak"`, and the tmp file renamed into place — both
-// renames atomic on POSIX, so at every instant the path set contains at
-// least one complete, validated checkpoint. Readers validate size floor,
+// Writes are crash-safe by construction: the full image is written to a
+// writer-unique side file `path + ".tmp.<pid>.<seq>"`, flushed and fsync'd,
+// the previous checkpoint (if any) is rotated to `path + ".bak"`, and the
+// tmp file renamed into place — both renames atomic on POSIX, so at every
+// instant the path set contains at least one complete, validated
+// checkpoint. The pid + sequence suffix makes concurrent writers (threads
+// of one process, or a daemon and its tools racing on the same path) safe:
+// each assembles its full image in a private side file, and the atomic
+// renames guarantee the published file is always ONE writer's complete
+// image, never an interleaving (pinned by tests/test_checkpoint.cpp's
+// concurrent-writer test). Readers validate size floor,
 // magic, checksum, version, payload-size consistency, and payload kind, in
 // that order, and report failures through the gecos::Error taxonomy
 // (io_corrupt / version_mismatch); read_checkpoint_with_fallback() falls
@@ -60,6 +66,7 @@ enum class PayloadKind : std::uint32_t {
   kSectorBasis = 3,   ///< sector descriptor only (masks + counts)
   kLanczosState = 4,  ///< mid-flight thick-restart Lanczos solver state
   kImagTimeState = 5, ///< mid-flight imaginary-time projection state
+  kServeJob = 6,      ///< gecosd job journal: spec + state + result payload
 };
 
 /// Append-only payload builder. All put_* calls append native-endian raw
@@ -125,9 +132,11 @@ struct Checkpoint {
   bool from_backup = false;  ///< true when read from path + ".bak"
 };
 
-/// Atomically writes a checkpoint: full image to `path + ".tmp"` (fsync'd),
-/// existing `path` rotated to `path + ".bak"`, tmp renamed into place.
-/// Throws Error{io_corrupt} on any filesystem failure.
+/// Atomically writes a checkpoint: full image to a writer-unique
+/// `path + ".tmp.<pid>.<seq>"` side file (fsync'd), existing `path` rotated
+/// to `path + ".bak"`, tmp renamed into place. Safe against concurrent
+/// writers on the same path (each publishes a complete image; see the file
+/// comment). Throws Error{io_corrupt} on any filesystem failure.
 void write_checkpoint(const std::string& path, PayloadKind kind,
                       std::span<const unsigned char> payload);
 

@@ -6,41 +6,41 @@
 #include <stdexcept>
 
 #include "ops/conversion.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gecos {
 
+ScbSum::ScbSum() : kcache_(std::make_shared<ScbKernelCache>()) {}
+
+ScbSum::ScbSum(std::size_t num_qubits)
+    : num_qubits_(num_qubits), kcache_(std::make_shared<ScbKernelCache>()) {}
+
 ScbSum::ScbSum(const ScbSum& o) : num_qubits_(o.num_qubits_), terms_(o.terms_) {
-  // Take o's guard: a concurrent const apply_add on o may be rebuilding its
-  // cache while we copy it.
-  std::scoped_lock<std::mutex> lk(o.kernels_mutex_);
-  kernels_ = o.kernels_;
-  kernels_dirty_ = o.kernels_dirty_;
+  // Share o's cache: the copy has identical terms, so one compilation
+  // serves both (the serving layer's whole point). A moved-from o has no
+  // cache; give the copy a fresh one.
+  kcache_ = o.kcache_ != nullptr ? o.kcache_
+                                 : std::make_shared<ScbKernelCache>();
 }
 
 ScbSum& ScbSum::operator=(const ScbSum& o) {
   if (this == &o) return *this;
   num_qubits_ = o.num_qubits_;
   terms_ = o.terms_;
-  std::scoped_lock<std::mutex> lk(o.kernels_mutex_);
-  kernels_ = o.kernels_;
-  kernels_dirty_ = o.kernels_dirty_;
+  kcache_ = o.kcache_ != nullptr ? o.kcache_
+                                 : std::make_shared<ScbKernelCache>();
   return *this;
 }
 
 ScbSum::ScbSum(ScbSum&& o) noexcept
     : num_qubits_(o.num_qubits_),
       terms_(std::move(o.terms_)),
-      kernels_(std::move(o.kernels_)),
-      kernels_dirty_(o.kernels_dirty_) {
-  o.kernels_dirty_ = true;
-}
+      kcache_(std::move(o.kcache_)) {}
 
 ScbSum& ScbSum::operator=(ScbSum&& o) noexcept {
   num_qubits_ = o.num_qubits_;
   terms_ = std::move(o.terms_);
-  kernels_ = std::move(o.kernels_);
-  kernels_dirty_ = o.kernels_dirty_;
-  o.kernels_dirty_ = true;
+  kcache_ = std::move(o.kcache_);
   return *this;
 }
 
@@ -50,10 +50,34 @@ void ScbSum::ensure_qubits(std::size_t n) {
     throw std::invalid_argument("ScbSum: mixed qubit counts");
 }
 
+void ScbSum::invalidate_kernels() {
+  // Mutation is exclusive by contract, so reseating kcache_ here cannot
+  // race with this sum's own const applications. Sole owner: mark dirty in
+  // place (still under the cache mutex — another sum may have shared it a
+  // moment ago on a different thread). Shared: detach onto a fresh cache
+  // so the other owners keep a valid compilation of THEIR terms.
+  if (kcache_ != nullptr && kcache_.use_count() == 1) {
+    std::scoped_lock<std::mutex> lk(kcache_->mutex);
+    kcache_->dirty = true;
+    kcache_->kernels.clear();
+  } else {
+    kcache_ = std::make_shared<ScbKernelCache>();
+  }
+}
+
+ScbKernelCache& ScbSum::ensure_cache() const {
+  // Null only after a move stole the cache; the lazy recreation here is
+  // NOT safe against two threads' concurrent first application of a
+  // moved-from sum — but using a moved-from object concurrently without
+  // first reassigning it is already out of contract.
+  if (kcache_ == nullptr) kcache_ = std::make_shared<ScbKernelCache>();
+  return *kcache_;
+}
+
 void ScbSum::add(const std::vector<Scb>& word, cplx coeff, double tol) {
   if (word.empty()) throw std::invalid_argument("ScbSum: empty word");
   ensure_qubits(word.size());
-  kernels_dirty_ = true;
+  invalidate_kernels();
   auto it = terms_.find(word);
   if (it == terms_.end()) {
     if (std::abs(coeff) > tol) terms_.emplace(word, coeff);
@@ -93,7 +117,7 @@ ScbSum ScbSum::operator-(const ScbSum& o) const {
 }
 
 ScbSum ScbSum::operator*(cplx s) const {
-  ScbSum r(num_qubits_);  // kernels_dirty_ starts true on the fresh sum
+  ScbSum r(num_qubits_);  // fresh sum starts with a fresh dirty cache
   if (s == cplx(0.0)) return r;
   r.terms_ = terms_;
   for (auto& [word, c] : r.terms_) c *= s;
@@ -151,7 +175,7 @@ double ScbSum::one_norm() const {
 }
 
 void ScbSum::prune(double tol) {
-  kernels_dirty_ = true;
+  invalidate_kernels();
   for (auto it = terms_.begin(); it != terms_.end();)
     it = std::abs(it->second) <= tol ? terms_.erase(it) : std::next(it);
 }
@@ -181,19 +205,21 @@ Matrix ScbSum::to_matrix() const {
 void ScbSum::apply_add(std::span<const cplx> x, std::span<cplx> y,
                        cplx scale) const {
   assert(x.data() != y.data() && "ScbSum::apply_add: x, y must not alias");
+  ScbKernelCache& cache = ensure_cache();
   {
     // Guarded rebuild: several threads may share this sum const-ly (e.g.
     // expectation values from a measurement pool); only one rebuilds.
-    std::scoped_lock<std::mutex> lk(kernels_mutex_);
-    if (kernels_dirty_) {
-      kernels_.clear();
-      kernels_.reserve(terms_.size());
+    std::scoped_lock<std::mutex> lk(cache.mutex);
+    if (cache.dirty) {
+      cache.kernels.clear();
+      cache.kernels.reserve(terms_.size());
       for (const auto& [word, c] : terms_)
-        kernels_.emplace_back(ScbTerm(c, word, false));
-      kernels_dirty_ = false;
+        cache.kernels.emplace_back(ScbTerm(c, word, false));
+      cache.dirty = false;
+      telemetry::count(telemetry::Counter::kernel_compiles, terms_.size());
     }
   }
-  for (const TermKernel& k : kernels_) k.apply_add(x, y, scale);
+  for (const TermKernel& k : cache.kernels) k.apply_add(x, y, scale);
 }
 
 std::string ScbSum::str() const {

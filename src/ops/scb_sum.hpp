@@ -16,6 +16,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -29,6 +30,18 @@
 
 namespace gecos {
 
+/// Shared compiled-kernel cache for ScbSum. Hoisted out of the sum itself
+/// (ROADMAP item 3 / the serving layer's artifact cache) so copies of an
+/// unmutated sum — and cached Hamiltonians handed out by gecosd — share one
+/// set of compiled TermKernels instead of each recompiling. The mutex
+/// guards the lazy rebuild; after the rebuild the kernels are immutable, so
+/// any number of threads can apply concurrently.
+struct ScbKernelCache {
+  std::mutex mutex;                 ///< guards the dirty-rebuild transition
+  std::vector<TermKernel> kernels;  ///< one compiled kernel per term
+  bool dirty = true;                ///< true until rebuilt from the terms
+};
+
 /// Sparse complex combination of bare SCB products, keyed by the operator
 /// word (qubit 0 first). A default-constructed sum adopts the qubit count of
 /// the first word added; all words must share it. Deterministic iteration
@@ -37,11 +50,14 @@ namespace gecos {
 class ScbSum : public LinearOperator {
  public:
   /// Empty sum; adopts the qubit count of the first word added.
-  ScbSum() = default;
+  ScbSum();
   /// Empty sum with a fixed qubit count.
-  explicit ScbSum(std::size_t num_qubits) : num_qubits_(num_qubits) {}
-  /// Copies/moves transfer terms and the compiled-kernel cache but never
-  /// share the cache guard (each sum owns a fresh mutex).
+  explicit ScbSum(std::size_t num_qubits);
+  /// Copies SHARE the compiled-kernel cache (the copy and the original have
+  /// identical terms, so one compilation serves both until either mutates —
+  /// a mutation detaches onto a fresh cache, see invalidate_kernels()).
+  /// Moves steal the cache outright; the moved-from sum lazily recreates
+  /// one if applied again.
   ScbSum(const ScbSum& o);
   ScbSum& operator=(const ScbSum& o);
   ScbSum(ScbSum&& o) noexcept;
@@ -115,21 +131,33 @@ class ScbSum : public LinearOperator {
   void apply_add(std::span<const cplx> x, std::span<cplx> y,
                  cplx scale) const override;
 
+  /// True when this sum and o currently share one compiled-kernel cache
+  /// (i.e. they are copies with no intervening mutation). Diagnostic for
+  /// the cache tests and the serve artifact layer.
+  bool shares_kernel_cache(const ScbSum& o) const {
+    return kcache_ != nullptr && kcache_ == o.kcache_;
+  }
+
   /// Deterministic " + "-joined text form ("0" for the empty sum).
   std::string str() const;
 
  private:
   void ensure_qubits(std::size_t n);
+  // Mutation hook: sole owner -> mark the cache dirty in place; shared ->
+  // detach onto a fresh cache so sums still holding the old kernels keep a
+  // valid compilation of THEIR terms.
+  void invalidate_kernels();
+  // Returns the cache, recreating it when a move left kcache_ null.
+  ScbKernelCache& ensure_cache() const;
 
   std::size_t num_qubits_ = 0;
   std::map<std::vector<Scb>, cplx> terms_;
-  // Compiled per-term kernels, (re)built lazily by apply_add after any
-  // mutation of terms_; mutable because caching does not change the value.
-  // kernels_mutex_ guards the rebuild so concurrent const application is
-  // safe; it is never copied (see the copy/move members).
-  mutable std::vector<TermKernel> kernels_;
-  mutable bool kernels_dirty_ = true;
-  mutable std::mutex kernels_mutex_;
+  // Shared compiled-kernel cache (see ScbKernelCache). Eagerly allocated by
+  // the constructors and reseated by invalidate_kernels(), so on the const
+  // apply path the pointer itself is stable and only the cache's own mutex
+  // is needed for thread safety; null only transiently on a moved-from sum.
+  // Mutable because caching never changes the observable value.
+  mutable std::shared_ptr<ScbKernelCache> kcache_;
 };
 
 /// Scalar-from-the-left product s * m.

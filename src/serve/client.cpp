@@ -1,0 +1,145 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace gecos::serve {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    throw Error(ErrorKind::protocol,
+                "socket path empty or exceeds AF_UNIX limit: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw Error(ErrorKind::protocol,
+                std::string("socket(): ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorKind::protocol, "connect(" + socket_path + "): " +
+                                         std::strerror(err));
+  }
+  try {
+    PayloadWriter w;
+    w.put_u32(static_cast<std::uint32_t>(MsgType::kHello));
+    w.put_string(std::string(kServeMagic, sizeof(kServeMagic)));
+    w.put_u32(kServeVersion);
+    write_frame(fd_, w.bytes());
+    const std::vector<unsigned char> reply = read_frame(fd_);
+    if (reply.empty())
+      throw Error(ErrorKind::protocol, "daemon closed during handshake");
+    PayloadReader r = expect_reply(reply, MsgType::kHelloOk);
+    if (r.get_u32() != kServeVersion)
+      throw Error(ErrorKind::version_mismatch,
+                  "daemon acknowledged a different protocol version");
+    r.require_end();
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<unsigned char> Client::request(
+    std::span<const unsigned char> payload) {
+  write_frame(fd_, payload);
+  std::vector<unsigned char> reply = read_frame(fd_);
+  if (reply.empty())
+    throw Error(ErrorKind::protocol, "daemon closed the connection");
+  return reply;
+}
+
+std::uint64_t Client::submit(const JobSpec& spec) {
+  PayloadWriter w;
+  w.put_u32(static_cast<std::uint32_t>(MsgType::kSubmit));
+  encode_job_spec(w, spec);
+  const std::vector<unsigned char> reply = request(w.bytes());
+  PayloadReader r = expect_reply(reply, MsgType::kSubmitOk);
+  const std::uint64_t id = r.get_u64();
+  r.require_end();
+  return id;
+}
+
+JobStatus Client::status(std::uint64_t id) {
+  PayloadWriter w;
+  w.put_u32(static_cast<std::uint32_t>(MsgType::kStatus));
+  w.put_u64(id);
+  const std::vector<unsigned char> reply = request(w.bytes());
+  PayloadReader r = expect_reply(reply, MsgType::kStatusOk);
+  const JobStatus st = decode_job_status(r);
+  r.require_end();
+  return st;
+}
+
+bool Client::cancel(std::uint64_t id) {
+  PayloadWriter w;
+  w.put_u32(static_cast<std::uint32_t>(MsgType::kCancel));
+  w.put_u64(id);
+  const std::vector<unsigned char> reply = request(w.bytes());
+  PayloadReader r = expect_reply(reply, MsgType::kCancelOk);
+  const std::uint32_t accepted = r.get_u32();
+  r.require_end();
+  return accepted != 0;
+}
+
+JobResult Client::fetch(std::uint64_t id) {
+  PayloadWriter w;
+  w.put_u32(static_cast<std::uint32_t>(MsgType::kFetch));
+  w.put_u64(id);
+  const std::vector<unsigned char> reply = request(w.bytes());
+  PayloadReader r = expect_reply(reply, MsgType::kFetchOk);
+  JobResult res = decode_job_result(r);
+  r.require_end();
+  return res;
+}
+
+ServerStats Client::stats() {
+  PayloadWriter w;
+  w.put_u32(static_cast<std::uint32_t>(MsgType::kStats));
+  const std::vector<unsigned char> reply = request(w.bytes());
+  PayloadReader r = expect_reply(reply, MsgType::kStatsOk);
+  const ServerStats st = decode_server_stats(r);
+  r.require_end();
+  return st;
+}
+
+void Client::shutdown() {
+  PayloadWriter w;
+  w.put_u32(static_cast<std::uint32_t>(MsgType::kShutdown));
+  const std::vector<unsigned char> reply = request(w.bytes());
+  PayloadReader r = expect_reply(reply, MsgType::kShutdownOk);
+  r.require_end();
+}
+
+JobStatus Client::wait(std::uint64_t id, double timeout_s, double poll_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    const JobStatus st = status(id);
+    if (st.state == JobState::kDone || st.state == JobState::kFailed ||
+        st.state == JobState::kCancelled)
+      return st;
+    if (std::chrono::steady_clock::now() >= deadline) return st;
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+  }
+}
+
+}  // namespace gecos::serve

@@ -1,0 +1,71 @@
+// gecosd client: typed request methods over one daemon connection.
+//
+// The Client wraps a connected unix-domain socket and turns each protocol
+// exchange into an ordinary method call: encode the request, write one
+// frame, read one frame, decode the paired *Ok reply. A kError reply is
+// parsed and rethrown as the gecos::Error the daemon caught, so calling
+// through a daemon looks exactly like calling the Scheduler in-process —
+// the same kinds, the same messages, one extra hop. The constructor runs
+// the kHello handshake eagerly; version drift therefore fails at
+// connection time, not on the first real request. The connection is used
+// synchronously from one thread (the protocol is strict request/reply);
+// open one Client per thread for concurrent use. See DESIGN.md "Serving
+// layer".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace gecos::serve {
+
+/// Synchronous request/reply connection to a gecosd daemon.
+class Client {
+ public:
+  /// Connects to the daemon socket and completes the kHello handshake.
+  /// Throws Error{protocol} when the connect fails and
+  /// Error{version_mismatch} on protocol drift.
+  explicit Client(const std::string& socket_path);
+  /// Closes the connection.
+  ~Client();
+
+  Client(const Client&) = delete;             ///< owns the socket
+  Client& operator=(const Client&) = delete;  ///< owns the socket
+
+  /// Submits a job; returns the daemon-assigned job id.
+  std::uint64_t submit(const JobSpec& spec);
+
+  /// Point-in-time status of a job.
+  JobStatus status(std::uint64_t id);
+
+  /// Requests cancellation; true when the daemon accepted it (the job was
+  /// not yet terminal).
+  bool cancel(std::uint64_t id);
+
+  /// Fetches the result of a kDone job; rethrows the daemon's error for
+  /// failed/cancelled/pending jobs.
+  JobResult fetch(std::uint64_t id);
+
+  /// Daemon aggregate counters.
+  ServerStats stats();
+
+  /// Asks the daemon to exit after acknowledging.
+  void shutdown();
+
+  /// Polls status every poll_s until the job is terminal or timeout_s
+  /// elapses; returns the last status seen (check .state — a timeout
+  /// returns a non-terminal snapshot rather than throwing).
+  JobStatus wait(std::uint64_t id, double timeout_s, double poll_s = 0.05);
+
+ private:
+  // One framed round trip; returns the reply payload positioned past the
+  // expected MsgType (kError replies throw).
+  std::vector<unsigned char> request(std::span<const unsigned char> payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace gecos::serve

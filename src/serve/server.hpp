@@ -1,0 +1,64 @@
+// gecosd socket front end: unix-domain accept loop over a Scheduler.
+//
+// The Server owns nothing but the socket: every piece of job machinery
+// (queueing, execution, durability, caching) lives in the Scheduler it
+// wraps, so the protocol shim stays small enough to test over a
+// socketpair and the daemon's crash-recovery story is exactly the
+// scheduler's. Connections are handled one at a time on the caller's
+// thread — requests are tiny and replies immediate (submit returns an id,
+// not a result), while the solves run on the scheduler's executor; a
+// single accept thread therefore keeps every client responsive without a
+// connection pool. Each connection must open with the kHello handshake
+// (magic + version, rejected loudly on drift); every request either gets
+// its paired *Ok reply or a kError frame carrying error_kind_name() + a
+// message, so client-side code sees gecos::Error exactly as if the call
+// had been in-process. A kShutdown request is acknowledged, the
+// connection drains, and serve() returns — the daemon's clean exit path
+// (the unclean one, SIGKILL, is covered by the scheduler's journals and
+// exercised by tools/serve_smoke.cpp). See DESIGN.md "Serving layer".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace gecos::serve {
+
+/// Unix-domain-socket protocol front end over a Scheduler.
+class Server {
+ public:
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// unlinked first — stale sockets from a killed daemon must not block
+  /// restart). Throws Error{protocol} when the path exceeds the AF_UNIX
+  /// limit or the bind fails. The scheduler must outlive the server.
+  Server(Scheduler& scheduler, std::string socket_path);
+  /// Closes the listening socket and unlinks the path.
+  ~Server();
+
+  Server(const Server&) = delete;             ///< owns the socket
+  Server& operator=(const Server&) = delete;  ///< owns the socket
+
+  /// Accepts and serves connections until a client sends kShutdown (the
+  /// reply is sent and the connection drained before returning). A
+  /// malformed connection is dropped with a kError frame where possible;
+  /// the loop keeps serving.
+  void serve();
+
+  /// The bound socket path.
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  // Serves one connection to EOF; returns true when it requested shutdown.
+  bool handle_connection(int fd);
+  // Dispatches one decoded request; fills `reply` (never empty) and sets
+  // `shutdown` on kShutdown.
+  std::vector<unsigned char> handle_request(
+      std::span<const unsigned char> payload, bool& shutdown);
+
+  Scheduler& scheduler_;
+  std::string path_;
+  int listen_fd_ = -1;
+};
+
+}  // namespace gecos::serve

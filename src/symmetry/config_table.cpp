@@ -1,0 +1,83 @@
+#include "symmetry/config_table.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace gecos {
+
+namespace {
+
+// Registry key: the serialized sector descriptor — exactly the domain of
+// SectorBasis::operator==, so equal bases collide and distinct bases never
+// do. Raw bytes in a std::string keep the map ordering deterministic
+// without a hash.
+std::string descriptor_key(const SectorBasis& basis) {
+  std::string key;
+  auto put_u64 = [&key](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      key.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  put_u64(basis.n_qubits());
+  for (const SpeciesSector& s : basis.species()) {
+    put_u64(s.mask);
+    put_u64(s.count);
+  }
+  return key;
+}
+
+struct TableRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::weak_ptr<const ConfigTable>> slots;
+};
+
+// Leaked (never destroyed): operators owning shared tables may be torn
+// down during static destruction, after a registry with static storage
+// duration would already be gone.
+TableRegistry& registry() {
+  static TableRegistry* r = new TableRegistry;
+  return *r;
+}
+
+}  // namespace
+
+std::shared_ptr<const ConfigTable> shared_config_table(
+    const SectorBasis& basis) {
+  TableRegistry& reg = registry();
+  const std::string key = descriptor_key(basis);
+  std::scoped_lock<std::mutex> lk(reg.mutex);
+  // Sweep expired slots opportunistically so the map never grows beyond
+  // the set of sectors ever used plus dead entries from the current locked
+  // section's perspective.
+  for (auto it = reg.slots.begin(); it != reg.slots.end();)
+    it = it->second.expired() ? reg.slots.erase(it) : std::next(it);
+  auto it = reg.slots.find(key);
+  if (it != reg.slots.end()) {
+    if (auto live = it->second.lock()) {
+      telemetry::count(telemetry::Counter::sector_table_hits);
+      return live;
+    }
+  }
+  // Build under the lock: two threads racing on the same large sector
+  // would otherwise both pay the enumeration walk, and the walk is cheap
+  // relative to the solves that follow it.
+  auto table = std::make_shared<ConfigTable>(basis.dim());
+  std::uint64_t cfg = basis.first_config();
+  for (std::size_t r = 0; r < table->size(); ++r) {
+    (*table)[r] = cfg;
+    cfg = basis.next_config(cfg);
+  }
+  reg.slots[key] = table;
+  telemetry::count(telemetry::Counter::sector_table_builds);
+  return table;
+}
+
+std::size_t config_table_registry_size() {
+  TableRegistry& reg = registry();
+  std::scoped_lock<std::mutex> lk(reg.mutex);
+  return reg.slots.size();
+}
+
+}  // namespace gecos

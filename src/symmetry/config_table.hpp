@@ -1,0 +1,45 @@
+// Shared rank -> configuration tables for sector operators.
+//
+// Every SectorOperator needs the full rank -> configuration table of its
+// sector (8 bytes per sector state) to drive the diagonal fuse and the
+// hop-target precomputation. Before this registry existed each operator
+// walked the enumeration and materialized a private copy — so the three
+// Hubbard operators of one serving job (Hamiltonian + two observables over
+// the same sector) carried three identical multi-megabyte tables and paid
+// the enumeration walk three times. ROADMAP item 3 calls this out as the
+// session/cache refactor: the table is a pure function of the sector
+// descriptor, so it belongs in a shared, refcounted registry.
+//
+// shared_config_table() keys a process-wide map by the serialized sector
+// descriptor (n_qubits + ordered (mask, count) species — exactly the
+// SectorBasis equality domain) and holds weak_ptrs: a table lives as long
+// as some operator (or the serve artifact cache) pins it and is rebuilt on
+// demand afterwards, so idle sectors cost nothing. Hits and builds are
+// counted into the telemetry registry (sector_table_hits /
+// sector_table_builds) — the serve_batch bench's warm-cache gate asserts
+// builds == 0 on a re-submitted job. See DESIGN.md "Serving layer".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "symmetry/sector_basis.hpp"
+
+namespace gecos {
+
+/// A sector's full rank -> configuration table: entry r is config_at(r).
+using ConfigTable = std::vector<std::uint64_t>;
+
+/// Returns the shared rank -> configuration table of `basis`, building it
+/// (one enumeration walk) only when no live table exists for an equal
+/// sector. Thread-safe; two bases comparing operator== always yield the
+/// same pointer while either result is alive.
+std::shared_ptr<const ConfigTable> shared_config_table(
+    const SectorBasis& basis);
+
+/// Number of registry slots currently tracked (live or expired; expired
+/// slots are swept opportunistically on lookups). Test diagnostic only.
+std::size_t config_table_registry_size();
+
+}  // namespace gecos

@@ -111,24 +111,24 @@ void SectorOperator::compile(const ScbSum& h) {
   if (kernels_.empty() && diagonal.empty())
     throw std::invalid_argument(
         "SectorOperator: operator vanishes in canonical form");
+  // Same instrumentation site as ScbSum's kernel rebuild: every surviving
+  // canonical word cost one TermKernel mask compilation.
+  telemetry::count(telemetry::Counter::kernel_compiles,
+                   kernels_.size() + num_diagonal_);
 
-  // Precompute the rank -> configuration table (one enumeration walk; the
-  // hot loop only loads it) and fuse every diagonal word into one per-rank
-  // coefficient vector: U/mu-style terms then cost a single pass per apply
-  // instead of one sweep each.
+  // Fetch the shared rank -> configuration table (one enumeration walk per
+  // sector process-wide; the hot loop only loads it) and fuse every
+  // diagonal word into one per-rank coefficient vector: U/mu-style terms
+  // then cost a single pass per apply instead of one sweep each.
   const std::size_t d = basis_.dim();
-  configs_.resize(d);
-  std::uint64_t cfg = basis_.first_config();
-  for (std::size_t r = 0; r < d; ++r) {
-    configs_[r] = cfg;
-    cfg = basis_.next_config(cfg);
-  }
+  configs_ = shared_config_table(basis_);
+  const std::uint64_t* const cfgs = configs_->data();
   if (!diagonal.empty()) {
     diag_.assign(d, cplx(0.0));
     for (const SectorKernel& k : diagonal) {
       parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
         for (std::size_t r = lo; r < hi; ++r) {
-          const std::uint64_t c = configs_[r];
+          const std::uint64_t c = cfgs[r];
           if ((c & k.select_mask) == k.select_val) {
             const bool neg = (std::popcount(c & k.sign_mask) & 1) != 0;
             diag_[r] += neg ? -k.base : k.base;
@@ -153,7 +153,7 @@ void SectorOperator::compile(const ScbSum& h) {
       std::uint32_t* tgt = hop_targets_.data() + j * d;
       parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
         for (std::size_t r = lo; r < hi; ++r) {
-          const std::uint64_t cfg = configs_[r];
+          const std::uint64_t cfg = cfgs[r];
           if ((cfg & k.select_mask) != k.select_val) {
             tgt[r] = simd::kHopSkip;
             continue;
@@ -213,9 +213,10 @@ void SectorOperator::apply_add(std::span<const cplx> x, std::span<cplx> y,
       });
       continue;
     }
+    const std::uint64_t* const cfgs = configs_->data();
     parallel_for(d, [&](std::size_t lo, std::size_t hi, int) {
       for (std::size_t r = lo; r < hi; ++r) {
-        const std::uint64_t cfg = configs_[r];
+        const std::uint64_t cfg = cfgs[r];
         if ((cfg & k.select_mask) == k.select_val) {
           const bool neg = (std::popcount(cfg & k.sign_mask) & 1) != 0;
           y[basis_.rank(cfg ^ k.flip)] += (neg ? -base : base) * x[r];

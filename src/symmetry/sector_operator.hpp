@@ -39,12 +39,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "ops/linear_op.hpp"
 #include "ops/pauli.hpp"
 #include "ops/scb_sum.hpp"
+#include "symmetry/config_table.hpp"
 #include "symmetry/sector_basis.hpp"
 
 namespace gecos {
@@ -80,6 +82,12 @@ class SectorOperator : public LinearOperator {
   /// (rank, sign and selection folded into one uint32 per state — see the
   /// compile() notes) instead of on-the-fly rank() lookups.
   bool has_hop_tables() const { return !hop_targets_.empty(); }
+  /// True when this operator and o hold the same shared rank -> config
+  /// table (equal sectors, table still live when the later one compiled).
+  /// Diagnostic for the cache tests and the serve artifact layer.
+  bool shares_config_table(const SectorOperator& o) const {
+    return configs_ != nullptr && configs_ == o.configs_;
+  }
 
   /// Two-argument accumulate and overwriting apply from the base class.
   using LinearOperator::apply_add;
@@ -109,7 +117,9 @@ class SectorOperator : public LinearOperator {
   SectorBasis basis_;
   std::vector<SectorKernel> kernels_;        // hop kernels, term order
   std::size_t num_diagonal_ = 0;             // words fused into diag_
-  std::vector<std::uint64_t> configs_;       // rank -> configuration table
+  // Shared rank -> configuration table from the process-wide registry
+  // (symmetry/config_table.hpp): equal sectors share one table.
+  std::shared_ptr<const ConfigTable> configs_;
   std::vector<cplx> diag_;                   // fused diagonal (empty if none)
   // Per-hop-kernel target tables (kernels_.size() * dim entries): entry r
   // packs rank(cfg ^ flip), the (-1)^{pc(sign & cfg)} sign bit and the

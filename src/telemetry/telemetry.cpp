@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
+#include <unistd.h>
+
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -168,6 +170,24 @@ const char* counter_name(Counter c) {
       return "pool_chunks";
     case Counter::spans_dropped:
       return "spans_dropped";
+    case Counter::kernel_compiles:
+      return "kernel_compiles";
+    case Counter::sector_table_builds:
+      return "sector_table_builds";
+    case Counter::sector_table_hits:
+      return "sector_table_hits";
+    case Counter::artifact_hits:
+      return "artifact_hits";
+    case Counter::artifact_misses:
+      return "artifact_misses";
+    case Counter::artifact_evictions:
+      return "artifact_evictions";
+    case Counter::jobs_submitted:
+      return "jobs_submitted";
+    case Counter::jobs_completed:
+      return "jobs_completed";
+    case Counter::observables_batched:
+      return "observables_batched";
     case Counter::kCount:
       break;
   }
@@ -287,6 +307,23 @@ std::uint64_t hist_bucket_upper(std::size_t b) {
   return (std::uint64_t{1} << b) - 1;
 }
 
+std::string expand_trace_path(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  const std::string pid = std::to_string(static_cast<long>(::getpid()));
+  std::size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] == '%' && i + 1 < path.size() && path[i + 1] == 'p') {
+      out += pid;
+      i += 2;
+    } else {
+      out += path[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
 bool parse_metrics_env(const char* text) {
   const std::string s(text == nullptr ? "" : text);
   if (s == "0") return false;
@@ -313,7 +350,7 @@ void init_from_env() {
                    "gecos: GECOS_TRACE='': expected a file path\n");
       std::exit(2);
     }
-    env_trace_path() = env;
+    env_trace_path() = expand_trace_path(env);
     set_metrics_enabled(true);
     set_tracing_enabled(true);
     std::atexit(&write_env_trace_at_exit);

@@ -27,14 +27,17 @@
 //
 // GECOS_METRICS=1 enables metrics at process start; GECOS_TRACE=<path>
 // (see trace.hpp) implies it. Both are parsed strictly — an invalid value
-// terminates with the offending token rather than degrading silently. See
-// DESIGN.md "Telemetry & tracing".
+// terminates with the offending token rather than degrading silently. Every
+// "%p" in the GECOS_TRACE path expands to the process id, so a daemon and
+// the clients it forks can all trace concurrently without clobbering one
+// file (see expand_trace_path). See DESIGN.md "Telemetry & tracing".
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace gecos::telemetry {
 
@@ -55,6 +58,15 @@ enum class Counter : int {
   pool_dispatches,     ///< parallel_for calls that reached the thread pool
   pool_chunks,         ///< chunks executed across all pool dispatches
   spans_dropped,       ///< trace span events overwritten in a full ring
+  kernel_compiles,     ///< term kernels compiled (ScbSum + SectorOperator)
+  sector_table_builds, ///< sector rank->config tables materialized
+  sector_table_hits,   ///< sector table requests served from the registry
+  artifact_hits,       ///< serve artifact-cache lookups that hit
+  artifact_misses,     ///< serve artifact-cache lookups that built
+  artifact_evictions,  ///< serve artifact-cache entries evicted (LRU)
+  jobs_submitted,      ///< serve jobs accepted by the scheduler
+  jobs_completed,      ///< serve jobs that reached the done state
+  observables_batched, ///< expectation requests coalesced into shared passes
   kCount               ///< number of counters (not a counter)
 };
 
@@ -200,6 +212,13 @@ std::uint64_t hist_bucket_upper(std::size_t b);
 /// throws std::invalid_argument naming the offending token. Exposed so the
 /// tests can exercise the policy without re-execing.
 bool parse_metrics_env(const char* text);
+
+/// Expands every "%p" in a GECOS_TRACE path to the calling process's pid
+/// (decimal). This is how concurrent processes — gecosd plus the clients it
+/// serves, or a fork+exec test harness — share one GECOS_TRACE value
+/// without racing on a single output file. A literal "%p" cannot be
+/// escaped; no other placeholders exist.
+std::string expand_trace_path(const std::string& path);
 
 /// Applies GECOS_METRICS / GECOS_TRACE once per process (runs automatically
 /// before main via a static registrar; later calls are no-ops). An invalid

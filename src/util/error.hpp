@@ -17,6 +17,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace gecos {
 
@@ -28,6 +29,9 @@ enum class ErrorKind {
   numerical_nan,    ///< a NaN/Inf surfaced in an amplitude reduction
   breakdown,        ///< an iterative method lost its invariants mid-flight
   not_converged,    ///< an iteration limit exhausted without convergence
+  protocol,         ///< malformed or unsupported serve-protocol traffic
+  not_found,        ///< a requested job / artifact does not exist
+  cancelled,        ///< a job was cancelled before producing a result
 };
 
 /// Short stable name of an ErrorKind (for logs and test assertions).
@@ -39,8 +43,40 @@ inline const char* to_string(ErrorKind kind) {
     case ErrorKind::numerical_nan: return "numerical_nan";
     case ErrorKind::breakdown: return "breakdown";
     case ErrorKind::not_converged: return "not_converged";
+    case ErrorKind::protocol: return "protocol";
+    case ErrorKind::not_found: return "not_found";
+    case ErrorKind::cancelled: return "cancelled";
   }
   return "unknown";
+}
+
+/// Every ErrorKind, in declaration order — the iteration domain of
+/// parse_error_kind() and the round-trip tests.
+inline constexpr ErrorKind kAllErrorKinds[] = {
+    ErrorKind::io_corrupt, ErrorKind::version_mismatch,
+    ErrorKind::dim_mismatch, ErrorKind::numerical_nan,
+    ErrorKind::breakdown, ErrorKind::not_converged,
+    ErrorKind::protocol, ErrorKind::not_found,
+    ErrorKind::cancelled,
+};
+
+/// The stable machine-readable wire name of an ErrorKind — the form error
+/// replies of the serve protocol carry (identical to to_string; this alias
+/// is the documented wire-format entry point).
+inline const char* error_kind_name(ErrorKind kind) { return to_string(kind); }
+
+/// Inverse of error_kind_name(): parses a kind name back into the enum.
+/// Returns true and sets `out` on a known name; returns false (leaving
+/// `out` untouched) otherwise — an unknown name from a newer peer must not
+/// crash an older client, so this never throws.
+inline bool parse_error_kind(std::string_view name, ErrorKind& out) {
+  for (const ErrorKind k : kAllErrorKinds) {
+    if (name == error_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Runtime failure with a structured kind. what() is

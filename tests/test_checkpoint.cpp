@@ -2,11 +2,15 @@
 // bitwise save/load round trips for StateVector / SectorVector /
 // SectorBasis, the full corruption matrix (truncations at every 64-byte
 // boundary, single bit-flips across header/payload/checksum, wrong magic,
-// version skew) with a 100% detection requirement, and the .bak fallback
-// that recovery is built on.
+// version skew) with a 100% detection requirement, the .bak fallback that
+// recovery is built on, and the concurrent-writer guarantee: two threads
+// hammering one path each publish complete images — a reader never sees an
+// interleaving of both.
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault_inject.hpp"
@@ -241,6 +245,82 @@ int main() {
                       first.dim() * sizeof(cplx)) == 0);
     remove_checkpoint(path);
     CHECK(!checkpoint_exists(path));
+  }
+
+  // -- concurrent writers on one path: complete images, never interleaved ---
+  {
+    // Two writer threads race ~50 write_checkpoint() calls each on the SAME
+    // path (the gecosd journal scenario: an executor finishing a job while
+    // a second scheduler instance journals a resubmission). The atomic
+    // side-file + rename protocol promises every published file is one
+    // writer's complete payload. Each payload is self-describing — writer
+    // id, sequence number, and 1024 words derived from both — so a reader
+    // can prove non-interleaving word by word.
+    const std::string cpath = "ckpt_test_concurrent.bin";
+    remove_checkpoint(cpath);
+    constexpr int kWrites = 50;
+    constexpr std::size_t kWords = 1024;
+
+    const auto encode = [](std::uint64_t writer, std::uint64_t seq) {
+      PayloadWriter w;
+      w.put_u64(writer);
+      w.put_u64(seq);
+      for (std::size_t i = 0; i < kWords; ++i)
+        w.put_u64(writer * 1000003 + seq * 31 + i);
+      return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
+    };
+    // Returns true when the payload is one writer's complete image.
+    const auto coherent = [&](std::span<const unsigned char> payload) {
+      PayloadReader r(payload);
+      const std::uint64_t writer = r.get_u64();
+      const std::uint64_t seq = r.get_u64();
+      if (writer != 1 && writer != 2) return false;
+      for (std::size_t i = 0; i < kWords; ++i)
+        if (r.get_u64() != writer * 1000003 + seq * 31 + i) return false;
+      r.require_end();
+      return true;
+    };
+
+    std::atomic<bool> stop_reader{false};
+    std::atomic<int> incoherent{0};
+    std::atomic<int> good_reads{0};
+    const auto writer = [&](std::uint64_t id) {
+      for (int s = 0; s < kWrites; ++s)
+        write_checkpoint(cpath, PayloadKind::kServeJob,
+                         encode(id, static_cast<std::uint64_t>(s)));
+    };
+    std::thread reader([&] {
+      while (!stop_reader.load(std::memory_order_relaxed)) {
+        try {
+          const Checkpoint ck =
+              read_checkpoint_with_fallback(cpath, PayloadKind::kServeJob);
+          if (coherent(ck.payload)) good_reads.fetch_add(1);
+          else incoherent.fetch_add(1);
+        } catch (const Error&) {
+          // Transient rotation windows (primary and .bak both mid-rename)
+          // may surface as missing/corrupt; that is allowed — what is NOT
+          // allowed is a successful read of an interleaved image.
+        }
+      }
+    });
+    std::thread w1(writer, 1);
+    std::thread w2(writer, 2);
+    w1.join();
+    w2.join();
+    stop_reader.store(true);
+    reader.join();
+
+    CHECK_EQ(incoherent.load(), 0);  // every successful read was coherent
+    CHECK(good_reads.load() > 0);    // and the reader did observe images
+
+    // After the dust settles both the primary and the rotated .bak are
+    // valid, complete images.
+    const Checkpoint final_ck = read_checkpoint(cpath, PayloadKind::kServeJob);
+    CHECK(coherent(final_ck.payload));
+    const Checkpoint bak_ck =
+        read_checkpoint(cpath + ".bak", PayloadKind::kServeJob);
+    CHECK(coherent(bak_ck.payload));
+    remove_checkpoint(cpath);
   }
 
   return gecos::test::finish("test_checkpoint");

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -128,6 +129,46 @@ int main(int argc, char** argv) {
     CHECK(trace.find("traceEvents") != std::string::npos);
     CHECK(trace.find("test.child") != std::string::npos);
     std::remove(path.c_str());
+  }
+
+  // -- expand_trace_path: every %p becomes the pid, nothing else changes ----
+  {
+    const std::string pid = std::to_string(::getpid());
+    CHECK_EQ(tel::expand_trace_path("plain.json"), std::string("plain.json"));
+    CHECK_EQ(tel::expand_trace_path("t_%p.json"), "t_" + pid + ".json");
+    CHECK_EQ(tel::expand_trace_path("%p/%p"), pid + "/" + pid);
+    CHECK_EQ(tel::expand_trace_path("%p"), pid);
+    CHECK_EQ(tel::expand_trace_path(""), std::string(""));
+    // A lone trailing % is not a placeholder and passes through.
+    CHECK_EQ(tel::expand_trace_path("x%"), std::string("x%"));
+    CHECK_EQ(tel::expand_trace_path("x%q"), std::string("x%q"));
+  }
+
+  // -- GECOS_TRACE %p: concurrent processes sharing one env value get one
+  // file each instead of clobbering a single path (the gecosd scenario) -----
+  {
+    const std::string dir =
+        "/tmp/gecos_test_trace_pp_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string pattern = dir + "/t_%p.json";
+    CHECK_EQ(run_env_child("GECOS_TRACE", pattern.c_str()), 0);
+    CHECK_EQ(run_env_child("GECOS_TRACE", pattern.c_str()), 0);
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      CHECK(name.rfind("t_", 0) == 0);  // expanded, no literal %p left
+      CHECK(name.find('%') == std::string::npos);
+      std::ifstream in(entry.path());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string trace = ss.str();
+      CHECK(trace.find("traceEvents") != std::string::npos);
+      CHECK(trace.find("test.child") != std::string::npos);
+      ++files;
+    }
+    CHECK_EQ(files, std::size_t{2});  // two children, two distinct files
+    std::filesystem::remove_all(dir);
   }
 
   // -- strict parsers directly: value round-trips and offending tokens ------
